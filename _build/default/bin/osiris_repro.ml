@@ -1,0 +1,51 @@
+(* Command-line driver for the OSIRIS reproduction: list and run the
+   paper's tables, figures and ablations. *)
+
+open Cmdliner
+module Registry = Osiris_experiments.Registry
+
+let list_cmd =
+  let doc = "List every reproducible experiment." in
+  let run () =
+    List.iter
+      (fun (e : Registry.entry) ->
+        Printf.printf "%-24s %s\n" e.Registry.id e.Registry.description)
+      Registry.all
+  in
+  Cmd.v (Cmd.info "list" ~doc) Term.(const run $ const ())
+
+let run_cmd =
+  let doc = "Run one experiment by id (see $(b,list))." in
+  let id =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"ID")
+  in
+  let run id =
+    match Registry.find id with
+    | Some e ->
+        Registry.run e;
+        `Ok ()
+    | None ->
+        `Error
+          ( false,
+            Printf.sprintf "unknown experiment %S; known: %s" id
+              (String.concat ", " (Registry.ids ())) )
+  in
+  Cmd.v (Cmd.info "run" ~doc) Term.(ret (const run $ id))
+
+let all_cmd =
+  let doc = "Run every experiment (figures included; takes a while)." in
+  let run () = List.iter Registry.run Registry.all in
+  Cmd.v (Cmd.info "all" ~doc) Term.(const run $ const ())
+
+let quick_cmd =
+  let doc = "Run the quick set (all tables and ablations, no full figure sweeps)." in
+  let run () = List.iter Registry.run Registry.quick in
+  Cmd.v (Cmd.info "quick" ~doc) Term.(const run $ const ())
+
+let () =
+  let doc =
+    "Reproduction of 'Experiences with a High-Speed Network Adaptor' \
+     (SIGCOMM '94) on a simulated OSIRIS/TURBOchannel platform"
+  in
+  let info = Cmd.info "osiris_repro" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval (Cmd.group info [ list_cmd; run_cmd; all_cmd; quick_cmd ]))

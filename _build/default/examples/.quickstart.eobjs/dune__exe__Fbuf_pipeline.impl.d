@@ -1,0 +1,1 @@
+examples/fbuf_pipeline.ml: List Machine Osiris_core Osiris_fbufs Osiris_mem Osiris_os Osiris_sim Osiris_util Osiris_xkernel Printf

@@ -1,0 +1,1 @@
+examples/fbuf_pipeline.mli:

@@ -1,0 +1,1 @@
+examples/kernel_bypass.ml: Host Network Osiris_adc Osiris_board Osiris_core Osiris_sim Osiris_util Osiris_xkernel Printf

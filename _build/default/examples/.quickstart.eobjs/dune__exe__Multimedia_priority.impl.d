@@ -1,0 +1,1 @@
+examples/multimedia_priority.ml: Bytes Char Format Host Machine Osiris_adc Osiris_board Osiris_core Osiris_os Osiris_sim Osiris_util Osiris_xkernel Printf

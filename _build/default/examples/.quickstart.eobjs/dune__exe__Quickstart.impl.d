@@ -1,0 +1,1 @@
+examples/quickstart.ml: Char Host List Network Osiris_board Osiris_core Osiris_proto Osiris_sim Osiris_xkernel Printf Snapshot

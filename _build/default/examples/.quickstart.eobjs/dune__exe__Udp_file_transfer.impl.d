@@ -1,0 +1,1 @@
+examples/udp_file_transfer.ml: Array Bytes Char Host Machine Network Osiris_board Osiris_core Osiris_os Osiris_proto Osiris_sim Osiris_util Osiris_xkernel Printf

@@ -1,0 +1,46 @@
+(* Quickstart: bring up two simulated hosts with OSIRIS adaptors linked
+   back-to-back, send a few UDP messages from A to B, and print what the
+   hardware did along the way.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+open Osiris_core
+module Msg = Osiris_xkernel.Msg
+module Udp = Osiris_proto.Udp
+module Engine = Osiris_sim.Engine
+module Process = Osiris_sim.Process
+module Time = Osiris_sim.Time
+module Board = Osiris_board.Board
+
+let () =
+  (* Two DECstation 5000/200s, default (paper) configuration. *)
+  let eng, net = Network.pair () in
+  let a = net.Network.a and b = net.Network.b in
+
+  (* A UDP sink on host B. *)
+  Host.new_udp_test_receiver b ~port:7 ~on_msg:(fun ~len ->
+      Printf.printf "[%8.1f us] B received %d bytes\n"
+        (Time.to_float_us (Engine.now eng))
+        len);
+
+  (* A sender process on host A: allocate a message in the (simulated)
+     kernel address space, fill it, and push it down the UDP/IP stack. *)
+  Process.spawn eng ~name:"sender" (fun () ->
+      List.iter
+        (fun size ->
+          let msg =
+            Msg.alloc a.Host.vs ~len:size
+              ~fill:(fun i -> Char.chr (i land 0xff))
+              ()
+          in
+          Printf.printf "[%8.1f us] A sends %d bytes\n"
+            (Time.to_float_us (Engine.now eng))
+            size;
+          Udp.output a.Host.udp ~dst:b.Host.addr ~src_port:9 ~dst_port:7 msg)
+        [ 512; 4096; 16 * 1024; 64 * 1024 ]);
+
+  Engine.run ~until:(Time.ms 20) eng;
+
+  print_newline ();
+  Snapshot.print (Snapshot.take ~name:"host A (sender)" a);
+  Snapshot.print (Snapshot.take ~name:"host B (receiver)" b)

@@ -1,0 +1,1 @@
+lib/adc/adc.ml: List Osiris_board Osiris_core Osiris_mem Osiris_os Osiris_xkernel

@@ -1,0 +1,1 @@
+lib/adc/adc.mli: Osiris_board Osiris_core Osiris_mem Osiris_os Osiris_xkernel

@@ -1,0 +1,96 @@
+module Host = Osiris_core.Host
+module Driver = Osiris_core.Driver
+module Machine = Osiris_core.Machine
+module Board = Osiris_board.Board
+module Desc = Osiris_board.Desc
+module Desc_queue = Osiris_board.Desc_queue
+module Domain = Osiris_os.Domain
+module Vspace = Osiris_mem.Vspace
+module Pbuf = Osiris_mem.Pbuf
+module Msg = Osiris_xkernel.Msg
+module Demux = Osiris_xkernel.Demux
+
+type t = {
+  host : Host.t;
+  domain : Domain.t;
+  vs : Vspace.t;
+  channel : Board.channel;
+  driver : Driver.t;
+  demux : Demux.t;
+  mutable allowed : Pbuf.t list;
+}
+
+let refresh_allowed t =
+  Board.set_allowed_pages t.channel (Some t.allowed)
+
+let open_ (host : Host.t) ~name ?(priority = 1) ?cpu_priority () =
+  let vs = Vspace.create host.Host.mem in
+  let domain = Domain.create ~name ~kind:Domain.User vs in
+  let channel = Board.open_channel host.Host.board ~priority () in
+  let demux = Demux.create () in
+  let machine = host.Host.machine in
+  let driver =
+    Driver.create ~cpu:host.Host.cpu ~cache:host.Host.cache
+      ~wiring:host.Host.wiring ~board:host.Host.board ~channel ~vs
+      ~costs:machine.Machine.driver_costs ~demux ~invalidation:Driver.Lazy
+      ~rx_buffer_size:machine.Machine.rx_buffer_size
+      ~rx_pool_buffers:(machine.Machine.rx_pool_buffers / 2)
+      ~contiguous_buffers:true ?cpu_priority ()
+  in
+  Host.register_channel host channel driver;
+  Driver.start driver;
+  let t =
+    { host; domain; vs; channel; driver; demux;
+      allowed = Driver.buffer_regions driver }
+  in
+  refresh_allowed t;
+  t
+
+let host t = t.host
+let domain t = t.domain
+let vspace t = t.vs
+let channel t = t.channel
+let driver t = t.driver
+let demux t = t.demux
+
+let bind_vci t =
+  let vci = Demux.fresh_vci t.demux in
+  Board.bind_vci t.host.Host.board ~vci t.channel;
+  vci
+
+let on_receive t ~vci handler =
+  if not (Demux.bound t.demux ~vci) then
+    Demux.bind t.demux ~vci ~name:"adc" (fun ~vci:_ msg -> handler msg)
+  else invalid_arg "Adc.on_receive: VCI already has a handler"
+
+let authorize t msg =
+  t.allowed <- Msg.pbufs msg @ t.allowed;
+  refresh_allowed t
+
+let authorize_region t ~vaddr ~len =
+  t.allowed <- Vspace.phys_buffers t.vs ~vaddr ~len @ t.allowed;
+  refresh_allowed t
+
+let alloc_msg t ~len ?fill () =
+  let msg = Msg.alloc t.vs ~len ?fill () in
+  authorize t msg;
+  msg
+
+let send t ~vci msg =
+  (* Header pushes allocate new pages after [alloc_msg]'s authorization;
+     cover whatever the message spans now. *)
+  List.iter
+    (fun (s : Msg.seg) -> authorize_region t ~vaddr:s.Msg.vaddr ~len:s.Msg.len)
+    (Msg.segs msg);
+  Driver.send t.driver ~vci msg
+
+let send_unauthorized t ~vci ~len =
+  let vaddr = Vspace.alloc t.vs ~len in
+  let pbufs = Vspace.phys_buffers t.vs ~vaddr ~len in
+  let descs = Desc.chain_of_pbufs ~vci pbufs in
+  List.iter
+    (fun d -> ignore (Desc_queue.host_enqueue (Board.tx_queue t.channel) d))
+    descs
+
+let violations t =
+  (Board.stats t.host.Host.board).Board.protection_faults

@@ -1,0 +1,1 @@
+lib/atm/cell.mli: Bytes Format

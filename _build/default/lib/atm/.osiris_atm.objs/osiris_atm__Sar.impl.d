@@ -1,0 +1,1 @@
+lib/atm/sar.ml: Array Bytes Cell Format Hashtbl Int32 List Osiris_util Printf Sys

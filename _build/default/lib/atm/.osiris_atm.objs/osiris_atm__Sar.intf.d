@@ -1,0 +1,1 @@
+lib/atm/sar.mli: Bytes Cell Format

@@ -1,0 +1,188 @@
+module Crc32 = Osiris_util.Crc32
+
+type strategy = In_order | Seq_number | Per_link of int
+
+let pp_strategy fmt = function
+  | In_order -> Format.pp_print_string fmt "in-order"
+  | Seq_number -> Format.pp_print_string fmt "seq-number"
+  | Per_link n -> Format.fprintf fmt "per-link(%d)" n
+
+let trailer_size = 8
+
+let framed_len n =
+  let needed = n + trailer_size in
+  (needed + Cell.data_size - 1) / Cell.data_size * Cell.data_size
+
+let cells_per_pdu n = framed_len n / Cell.data_size
+
+let frame pdu =
+  let n = Bytes.length pdu in
+  let total = framed_len n in
+  let out = Bytes.make total '\000' in
+  Bytes.blit pdu 0 out 0 n;
+  Bytes.set_int32_be out (total - 8) (Int32.of_int n);
+  let crc = Crc32.compute out ~off:0 ~len:(total - 4) in
+  Bytes.set_int32_be out (total - 4) crc;
+  out
+
+let check_framed framed =
+  let total = Bytes.length framed in
+  if total < trailer_size || total mod Cell.data_size <> 0 then
+    Error "deframe: bad framed length"
+  else begin
+    let crc_stored = Bytes.get_int32_be framed (total - 4) in
+    let crc = Crc32.compute framed ~off:0 ~len:(total - 4) in
+    if crc <> crc_stored then Error "deframe: CRC mismatch"
+    else begin
+      let n = Int32.to_int (Bytes.get_int32_be framed (total - 8)) in
+      if n < 0 || framed_len n <> total then Error "deframe: bad length field"
+      else Ok n
+    end
+  end
+
+let deframe_check = check_framed
+
+let deframe framed =
+  match check_framed framed with
+  | Error _ as e -> e
+  | Ok n -> Ok (Bytes.sub framed 0 n)
+
+let segment ~vci ~nlinks pdu =
+  if nlinks < 1 then invalid_arg "Sar.segment: nlinks must be >= 1";
+  let framed = frame pdu in
+  let ncells = Bytes.length framed / Cell.data_size in
+  List.init ncells (fun k ->
+      (* The framing (eom) bit marks the last cell of each per-link
+         sub-stream: cell k is last on its link iff no later cell maps to
+         the same link. *)
+      let eom = k + nlinks >= ncells in
+      let last_of_pdu = k = ncells - 1 in
+      Cell.make ~vci ~seq:k ~eom ~last_of_pdu
+        (Bytes.sub framed (k * Cell.data_size) Cell.data_size))
+
+type placement = { offset : int; cell : Cell.t }
+
+type outcome =
+  | Placed of placement
+  | Completed of placement * int
+  | Rejected of string
+
+type t = {
+  strategy : strategy;
+  max_cells : int;
+  mutable received : int;
+  mutable total_cells : int; (* -1 until known *)
+  mutable next_offset : int; (* In_order *)
+  seen : (int, unit) Hashtbl.t; (* Seq_number: seqs received *)
+  mutable link_counts : int array; (* Per_link: arrivals per link *)
+  mutable link_eom : bool array; (* Per_link: framing bit seen per link *)
+}
+
+let create strategy ~max_cells =
+  if max_cells <= 0 then invalid_arg "Sar.create: max_cells must be positive";
+  (match strategy with
+  | Per_link n when n < 1 -> invalid_arg "Sar.create: Per_link needs >= 1 link"
+  | _ -> ());
+  let nlinks = match strategy with Per_link n -> n | _ -> 1 in
+  {
+    strategy;
+    max_cells;
+    received = 0;
+    total_cells = -1;
+    next_offset = 0;
+    seen = Hashtbl.create 64;
+    link_counts = Array.make nlinks 0;
+    link_eom = Array.make nlinks false;
+  }
+
+let cells_received t = t.received
+
+let in_progress t = t.received > 0
+
+let all_links_finished t =
+  match t.strategy with
+  | Per_link _ -> Array.for_all (fun b -> b) t.link_eom
+  | In_order | Seq_number -> false
+
+let link_finished t ~link =
+  match t.strategy with
+  | Per_link _ ->
+      link >= 0 && link < Array.length t.link_eom && t.link_eom.(link)
+  | In_order | Seq_number -> false
+
+let reset t =
+  t.received <- 0;
+  t.total_cells <- -1;
+  t.next_offset <- 0;
+  Hashtbl.reset t.seen;
+  Array.fill t.link_counts 0 (Array.length t.link_counts) 0;
+  Array.fill t.link_eom 0 (Array.length t.link_eom) false
+
+let finish t placement =
+  let total = t.total_cells * Cell.data_size in
+  Completed (placement, total)
+
+let push_in_order t (cell : Cell.t) =
+  if t.received >= t.max_cells then Rejected "reassembly overflow"
+  else begin
+    let placement = { offset = t.next_offset; cell } in
+    t.next_offset <- t.next_offset + Cell.data_size;
+    t.received <- t.received + 1;
+    if cell.Cell.last_of_pdu || cell.Cell.eom then begin
+      t.total_cells <- t.received;
+      finish t placement
+    end
+    else Placed placement
+  end
+
+let push_seq t (cell : Cell.t) =
+  let seq = cell.Cell.seq in
+  if seq >= t.max_cells then Rejected "sequence number out of window"
+  else if Hashtbl.mem t.seen seq then Rejected "duplicate sequence number"
+  else begin
+    Hashtbl.replace t.seen seq ();
+    t.received <- t.received + 1;
+    if cell.Cell.last_of_pdu then t.total_cells <- seq + 1;
+    let placement = { offset = seq * Cell.data_size; cell } in
+    if t.total_cells >= 0 && t.received = t.total_cells then finish t placement
+    else if t.total_cells >= 0 && t.received > t.total_cells then
+      Rejected "more cells than the PDU length allows"
+    else Placed placement
+  end
+
+let push_per_link t ~link (cell : Cell.t) =
+  let nlinks = Array.length t.link_counts in
+  if link < 0 || link >= nlinks then Rejected "unknown physical link"
+  else if t.received >= t.max_cells then Rejected "reassembly overflow"
+  else begin
+    let arrival = t.link_counts.(link) in
+    let k = (arrival * nlinks) + link in
+    if k <> cell.Cell.seq && Sys.getenv_opt "OSIRIS_SARDEBUG" <> None then
+      Printf.eprintf "sar: misplaced seq=%d at k=%d (link=%d recv=%d total=%d)\n%!"
+        cell.Cell.seq k link t.received t.total_cells;
+    t.link_counts.(link) <- arrival + 1;
+    t.received <- t.received + 1;
+    if cell.Cell.eom then t.link_eom.(link) <- true;
+    if cell.Cell.last_of_pdu then t.total_cells <- k + 1;
+    let placement = { offset = k * Cell.data_size; cell } in
+    (* Complete when the total is known, every cell has arrived, and every
+       link that carries cells of this PDU has shown its framing bit. *)
+    if t.total_cells >= 0 && t.received >= t.total_cells then begin
+      let links_used = min nlinks t.total_cells in
+      let all_framed = ref true in
+      for l = 0 to links_used - 1 do
+        if not t.link_eom.(l) then all_framed := false
+      done;
+      if t.received > t.total_cells then
+        Rejected "more cells than the PDU length allows"
+      else if !all_framed then finish t placement
+      else Placed placement
+    end
+    else Placed placement
+  end
+
+let push t ~link cell =
+  match t.strategy with
+  | In_order -> push_in_order t cell
+  | Seq_number -> push_seq t cell
+  | Per_link _ -> push_per_link t ~link cell

@@ -1,0 +1,1 @@
+lib/board/board.ml: Array Bytes Desc Desc_queue Engine Float Hashtbl List Mailbox Osiris_atm Osiris_bus Osiris_link Osiris_mem Osiris_sim Printf Process Queue Signal String

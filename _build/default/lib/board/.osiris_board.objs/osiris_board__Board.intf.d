@@ -1,0 +1,1 @@
+lib/board/board.mli: Bytes Desc Desc_queue Osiris_atm Osiris_bus Osiris_link Osiris_mem Osiris_sim

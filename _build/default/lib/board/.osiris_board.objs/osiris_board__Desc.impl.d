@@ -1,0 +1,1 @@
+lib/board/desc.ml: Format List Osiris_mem

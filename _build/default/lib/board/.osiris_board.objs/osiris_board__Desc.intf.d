@@ -1,0 +1,1 @@
+lib/board/desc.mli: Format Osiris_mem

@@ -1,0 +1,1 @@
+lib/board/desc_queue.ml: Array Desc Fun Osiris_sim Printf Resource Signal

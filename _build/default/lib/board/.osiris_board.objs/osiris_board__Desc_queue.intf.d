@@ -1,0 +1,1 @@
+lib/board/desc_queue.mli: Desc Osiris_sim

@@ -1,0 +1,950 @@
+open Osiris_sim
+module Trace = Osiris_sim.Trace
+module Cell = Osiris_atm.Cell
+module Atm_link = Osiris_link.Atm_link
+module Sar = Osiris_atm.Sar
+module Pbuf = Osiris_mem.Pbuf
+module Phys_mem = Osiris_mem.Phys_mem
+module Tc = Osiris_bus.Turbochannel
+
+type dma_mode = Single_cell | Double_cell
+
+type tx_mux = Cell_interleave | Pdu_at_once
+
+type config = {
+  dma_mode : dma_mode;
+  tx_mux : tx_mux;
+  queue_size : int;
+  locking : Desc_queue.locking;
+  reassembly : Sar.strategy;
+  nlinks : int;
+  i960_hz : int;
+  tx_cycles_per_cell : int;
+  rx_cycles_per_cell : int;
+  combine_saving_cycles : int;
+  tx_combine_saving_cycles : int;
+  queue_word_cycles : int;
+  n_channels : int;
+  max_pdu_cells : int;
+  page_size : int;
+  rx_fifo_cells : int;
+}
+
+let default_config =
+  {
+    (* The configuration the paper actually ran hosts with: single-cell
+       DMA transmit (the longer-transfer transmit hardware was still
+       "underway"); receive-side double-cell DMA is an experiment toggle.
+       This also keeps a sender slower than a same-generation receiver
+       (325 vs 340 Mb/s on the DECstation), which is what made sustained
+       host-to-host trains stable. *)
+    dma_mode = Single_cell;
+    tx_mux = Cell_interleave;
+    queue_size = 64;
+    locking = Desc_queue.Lock_free;
+    reassembly = Sar.Per_link 4;
+    nlinks = 4;
+    i960_hz = 25_000_000;
+    tx_cycles_per_cell = 27;
+    rx_cycles_per_cell = 15;
+    combine_saving_cycles = 9;
+    tx_combine_saving_cycles = 14;
+    queue_word_cycles = 2;
+    n_channels = 16;
+    max_pdu_cells = 8192;
+    page_size = 4096;
+    rx_fifo_cells = 32;
+  }
+
+type interrupt_reason =
+  | Rx_nonempty of int
+  | Tx_half_empty of int
+  | Protection_violation of int
+
+type stats = {
+  mutable cells_sent : int;
+  mutable cells_received : int;
+  mutable pdus_sent : int;
+  mutable pdus_received : int;
+  mutable dma_tx_transactions : int;
+  mutable dma_rx_transactions : int;
+  mutable combined_dmas : int;
+  mutable boundary_splits : int;
+  mutable pdus_dropped_no_buffer : int;
+  mutable cells_dropped : int;
+  mutable reassembly_errors : int;
+  mutable protection_faults : int;
+  mutable unknown_vci_cells : int;
+}
+
+type tx_pdu = {
+  cells : Cell.t array;
+  data_len : int;
+  chain : Desc.t list;
+  nchain : int;
+  mutable next : int;
+}
+
+type channel = {
+  id : int;
+  tx_q : Desc_queue.t;
+  free_q : Desc_queue.t;
+  rx_q : Desc_queue.t;
+  mutable priority : int;
+  mutable allowed : Pbuf.t list option;
+  mutable txst : tx_pdu option;
+  mutable peek_ahead : int; (* descriptors consumed but not yet advanced *)
+}
+
+type rxbuf = { bdesc : Desc.t; mutable filled : int; mutable posted : bool }
+
+type vc_state = {
+  vci : int;
+  mutable channel : channel;
+  sar : Sar.t;
+  bufs : (int, rxbuf) Hashtbl.t; (* buffer index within current PDU *)
+  mutable buf_size : int; (* capacity of this PDU's buffers; 0 = none yet *)
+  mutable next_post : int;
+  mutable total : int; (* framed total once known; -1 before *)
+  mutable dropping : bool;
+  fbufs : Desc.t Queue.t; (* per-VCI preallocated buffers (cached fbufs) *)
+  stash : (int * Cell.t) Queue.t;
+      (* skew: cells of the next PDU arriving on links whose sub-stream of
+         the current PDU already finished; replayed after completion *)
+}
+
+type dma_cmd = {
+  spans : (int * Bytes.t) list; (* (phys addr, data) per bus transaction *)
+  ncells : int;
+  post : unit -> unit;
+}
+
+(* Transmit-side DMA work: fetch these spans from host memory, then emit
+   these cells. Queued so the i960's per-cell work overlaps the DMA engine
+   (they are separate units on the board). *)
+type tx_fetch_cmd = {
+  f_spans : (int * int) list; (* (phys addr, len) per bus transaction *)
+  f_cells : Cell.t list;
+  f_done : (unit -> unit) option; (* runs after the data is fetched *)
+}
+
+type t = {
+  eng : Engine.t;
+  bus : Tc.t;
+  mem : Phys_mem.t;
+  cfg : config;
+  on_interrupt : interrupt_reason -> unit;
+  on_dma_write : addr:int -> len:int -> unit;
+  channels : channel array;
+  mutable n_open : int;
+  vcs : (int, vc_state) Hashtbl.t;
+  tx_work : Signal.t;
+  mutable tx_kicks : int; (* synchronous enqueue counter; see tx_processor *)
+  tx_fetch_q : tx_fetch_cmd Mailbox.t;
+  tx_out : Cell.t Mailbox.t;
+  rx_dma_q : dma_cmd Mailbox.t;
+  mutable tx_link : Atm_link.t option;
+  mutable recv_fn : (unit -> int * Cell.t) option;
+  mutable try_recv_fn : (unit -> (int * Cell.t) option) option;
+  pending_cells : (int * Cell.t) Queue.t;
+  mutable rr_cursor : int;
+  mutable started : bool;
+  stats : stats;
+}
+
+let i960_time t cycles =
+  ((cycles * 1_000_000_000) + t.cfg.i960_hz - 1) / t.cfg.i960_hz
+
+let i960_work t cycles = Process.sleep t.eng (i960_time t cycles)
+
+let make_hooks eng bus cfg =
+  {
+    Desc_queue.host_pio_read = (fun n -> Tc.pio_read_words bus ~words:n);
+    host_pio_write = (fun n -> Tc.pio_write_words bus ~words:n);
+    board_access =
+      (fun n ->
+        Process.sleep eng
+          (((n * cfg.queue_word_cycles * 1_000_000_000) + cfg.i960_hz - 1)
+          / cfg.i960_hz));
+  }
+
+let make_channel eng bus cfg id =
+  let hooks = make_hooks eng bus cfg in
+  let mk direction =
+    Desc_queue.create eng ~size:cfg.queue_size ~direction ~locking:cfg.locking
+      ~hooks
+  in
+  {
+    id;
+    tx_q = mk Desc_queue.Host_to_board;
+    free_q = mk Desc_queue.Host_to_board;
+    rx_q = mk Desc_queue.Board_to_host;
+    priority = if id = 0 then 0 else 1;
+    allowed = None;
+    txst = None;
+    peek_ahead = 0;
+  }
+
+let create eng ~bus ~mem ~on_interrupt ?(on_dma_write = fun ~addr:_ ~len:_ -> ())
+    cfg =
+  if cfg.n_channels < 1 then invalid_arg "Board.create: need >= 1 channel";
+  let t =
+    {
+      eng;
+      bus;
+      mem;
+      cfg;
+      on_interrupt;
+      on_dma_write;
+      channels = Array.init cfg.n_channels (fun id -> make_channel eng bus cfg id);
+      n_open = 1;
+      vcs = Hashtbl.create 32;
+      tx_work = Signal.create eng;
+      tx_kicks = 0;
+      tx_fetch_q = Mailbox.create eng ~capacity:2 ();
+      tx_out = Mailbox.create eng ~capacity:4 ();
+      rx_dma_q = Mailbox.create eng ~capacity:4 ();
+      tx_link = None;
+      recv_fn = None;
+      try_recv_fn = None;
+      pending_cells = Queue.create ();
+      rr_cursor = 0;
+      started = false;
+      stats =
+        {
+          cells_sent = 0;
+          cells_received = 0;
+          pdus_sent = 0;
+          pdus_received = 0;
+          dma_tx_transactions = 0;
+          dma_rx_transactions = 0;
+          combined_dmas = 0;
+          boundary_splits = 0;
+          pdus_dropped_no_buffer = 0;
+          cells_dropped = 0;
+          reassembly_errors = 0;
+          protection_faults = 0;
+          unknown_vci_cells = 0;
+        };
+    }
+  in
+  t
+
+let config t = t.cfg
+let engine t = t.eng
+let stats t = t.stats
+
+let kernel_channel t = t.channels.(0)
+
+let open_channel t ?(priority = 1) () =
+  if t.n_open >= t.cfg.n_channels then
+    failwith "Board.open_channel: all queue pages in use";
+  let ch = t.channels.(t.n_open) in
+  t.n_open <- t.n_open + 1;
+  ch.priority <- priority;
+  ch
+
+let channel_id ch = ch.id
+let tx_queue ch = ch.tx_q
+let free_queue ch = ch.free_q
+let rx_queue ch = ch.rx_q
+let set_allowed_pages ch allowed = ch.allowed <- allowed
+let set_priority ch p = ch.priority <- p
+
+let bind_vci t ~vci ch =
+  if Hashtbl.mem t.vcs vci then invalid_arg "Board.bind_vci: VCI in use";
+  Hashtbl.replace t.vcs vci
+    {
+      vci;
+      channel = ch;
+      sar = Sar.create t.cfg.reassembly ~max_cells:t.cfg.max_pdu_cells;
+      bufs = Hashtbl.create 8;
+      buf_size = 0;
+      next_post = 0;
+      total = -1;
+      dropping = false;
+      fbufs = Queue.create ();
+      stash = Queue.create ();
+    }
+
+let unbind_vci t ~vci = Hashtbl.remove t.vcs vci
+
+let supply_vci_buffer t ~vci desc =
+  match Hashtbl.find_opt t.vcs vci with
+  | None -> invalid_arg "Board.supply_vci_buffer: unbound VCI"
+  | Some vc ->
+      if Queue.length vc.fbufs >= t.cfg.queue_size then false
+      else begin
+        (* Host writes the descriptor into the VC's buffer list in
+           dual-port memory: same cost as a free-queue enqueue. *)
+        Tc.pio_write_words t.bus ~words:(Desc.words + 1);
+        Queue.add desc vc.fbufs;
+        true
+      end
+
+let vci_buffer_count t ~vci =
+  match Hashtbl.find_opt t.vcs vci with
+  | None -> 0
+  | Some vc -> Queue.length vc.fbufs
+
+(* ------------------------------------------------------------------ *)
+(* Span arithmetic: cut a byte range of a PDU into the DMA transactions
+   the controller actually issues — one per physical buffer crossing and
+   one per page boundary (the §2.5.2 boundary-stop behaviour). *)
+
+let split_at_pages page_size (addr, len) =
+  let rec go addr len acc =
+    if len = 0 then List.rev acc
+    else begin
+      let to_boundary = page_size - (addr mod page_size) in
+      let chunk = min len to_boundary in
+      go (addr + chunk) (len - chunk) ((addr, chunk) :: acc)
+    end
+  in
+  go addr len []
+
+(* Map [off, off+len) of the PDU data (laid out along the descriptor
+   chain) to physical (addr, len) spans. *)
+let chain_spans chain ~off ~len =
+  let rec go chain off len acc =
+    if len = 0 then List.rev acc
+    else
+      match chain with
+      | [] -> invalid_arg "Board: range beyond descriptor chain"
+      | (d : Desc.t) :: rest ->
+          if off >= d.Desc.len then go rest (off - d.Desc.len) len acc
+          else begin
+            let avail = d.Desc.len - off in
+            let chunk = min len avail in
+            go ((d : Desc.t) :: rest) (off + chunk) (len - chunk)
+              ((d.Desc.addr + off, chunk) :: acc)
+          end
+  in
+  (* A span ending exactly at a descriptor's end advances naturally on the
+     next call because off becomes >= d.len. *)
+  go chain off len []
+
+(* ------------------------------------------------------------------ *)
+(* Transmit side. *)
+
+let validate_chain t ch chain =
+  match ch.allowed with
+  | None -> true
+  | Some ranges ->
+      let ok (d : Desc.t) =
+        List.exists
+          (fun (r : Pbuf.t) ->
+            d.Desc.addr >= r.Pbuf.addr
+            && d.Desc.addr + d.Desc.len <= r.Pbuf.addr + r.Pbuf.len)
+          ranges
+      in
+      let all_ok = List.for_all ok chain in
+      if not all_ok then begin
+        t.stats.protection_faults <- t.stats.protection_faults + 1;
+        t.on_interrupt (Protection_violation ch.id)
+      end;
+      all_ok
+
+(* Read the next PDU chain from a channel's transmit queue (without
+   advancing the tail) and set up segmentation state. *)
+let try_load_pdu t ch =
+  match ch.txst with
+  | Some _ -> true
+  | None -> (
+      match Desc_queue.board_peek ch.tx_q ch.peek_ahead with
+      | None -> false
+      | Some _first ->
+          (* Collect descriptors up to eop. *)
+          let rec collect i acc =
+            match Desc_queue.board_peek ch.tx_q (ch.peek_ahead + i) with
+            | None -> None (* chain incomplete: host still writing it *)
+            | Some d ->
+                if d.Desc.eop then Some (List.rev (d :: acc))
+                else collect (i + 1) (d :: acc)
+          in
+          (match collect 0 [] with
+          | None ->
+              Trace.emitf Trace.Board_tx ~now:(Engine.now t.eng)
+                "ch%d chain incomplete (ahead=%d count=%d)" ch.id
+                ch.peek_ahead (Desc_queue.count ch.tx_q);
+              false
+          | Some chain ->
+              let nchain = List.length chain in
+              if not (validate_chain t ch chain) then begin
+                (* Faulted chains are discarded immediately; nothing is in
+                   flight for them. *)
+                Desc_queue.board_advance ch.tx_q nchain;
+                false
+              end
+              else begin
+                Trace.emitf Trace.Board_tx ~now:(Engine.now t.eng)
+                  "ch%d load chain [%s]" ch.id
+                  (String.concat ";"
+                     (List.map
+                        (fun (d : Desc.t) ->
+                          Printf.sprintf "%d%s" d.Desc.len
+                            (if d.Desc.eop then "*" else ""))
+                        chain));
+                ch.peek_ahead <- ch.peek_ahead + nchain;
+                let pbufs = List.map Desc.to_pbuf chain in
+                let pdu = Phys_mem.bytes_of_pbufs t.mem pbufs in
+                let vci = (List.hd chain).Desc.vci in
+                let cells =
+                  Array.of_list
+                    (Sar.segment ~vci ~nlinks:t.cfg.nlinks pdu)
+                in
+                ch.txst <-
+                  Some
+                    {
+                      cells;
+                      data_len = Bytes.length pdu;
+                      chain;
+                      nchain;
+                      next = 0;
+                    };
+                true
+              end))
+
+(* Physical spans behind cells [k, k+n) of a PDU: what the DMA engine
+   must fetch from host memory. *)
+let fetch_spans t (pdu : tx_pdu) ~k ~n =
+  let lo = k * Cell.data_size in
+  let hi = min ((k + n) * Cell.data_size) pdu.data_len in
+  if hi > lo then
+    List.concat_map
+      (split_at_pages t.cfg.page_size)
+      (chain_spans pdu.chain ~off:lo ~len:(hi - lo))
+  else []
+
+let finish_pdu t ch (pdu : tx_pdu) () =
+  (* Update peek_ahead BEFORE the tail advance: board_advance suspends for
+     its dual-port accesses after moving the tail, and a transmit-processor
+     chain scan overlapping that window must err on the side of reading
+     already-consumed (empty) slots — which makes it retry — rather than
+     reading slots beyond its chain, which would assemble garbage. *)
+  ch.peek_ahead <- ch.peek_ahead - pdu.nchain;
+  Desc_queue.board_advance ch.tx_q pdu.nchain;
+  t.stats.pdus_sent <- t.stats.pdus_sent + 1;
+  (* A transmit-processor scan can race this completion (board_advance
+     sleeps for its dual-port accesses while peek_ahead is still stale);
+     kick it so such a scan is retried with consistent state. *)
+  t.tx_kicks <- t.tx_kicks + 1;
+  Signal.broadcast t.tx_work;
+  if Desc_queue.board_test_waiting ch.tx_q then
+    t.on_interrupt (Tx_half_empty ch.id)
+
+(* Emit one scheduling quantum (one cell, or a pair under double-cell DMA)
+   from the given channel: the i960 computes the DMA command and hands it
+   to the transmit DMA engine, overlapping with the previous fetch. *)
+let tx_emit t ch =
+  match ch.txst with
+  | None -> ()
+  | Some pdu ->
+      let k = pdu.next in
+      let remaining = Array.length pdu.cells - k in
+      let n =
+        match t.cfg.dma_mode with
+        | Single_cell -> 1
+        | Double_cell -> min 2 remaining
+      in
+      let cycles =
+        if n = 2 then
+          max 1
+            ((2 * t.cfg.tx_cycles_per_cell) - t.cfg.tx_combine_saving_cycles)
+        else t.cfg.tx_cycles_per_cell
+      in
+      i960_work t cycles;
+      let cells = Array.to_list (Array.sub pdu.cells k n) in
+      pdu.next <- k + n;
+      let last = pdu.next >= Array.length pdu.cells in
+      if last then ch.txst <- None;
+      Mailbox.send t.tx_fetch_q
+        {
+          f_spans = fetch_spans t pdu ~k ~n;
+          f_cells = cells;
+          f_done = (if last then Some (finish_pdu t ch pdu) else None);
+        }
+
+let tx_dma_engine t () =
+  let rec loop () =
+    let cmd = Mailbox.recv t.tx_fetch_q in
+    let nspans = List.length cmd.f_spans in
+    t.stats.dma_tx_transactions <- t.stats.dma_tx_transactions + nspans;
+    if nspans > 1 then
+      t.stats.boundary_splits <- t.stats.boundary_splits + (nspans - 1);
+    List.iter (fun (_addr, len) -> Tc.dma_read t.bus ~bytes:len) cmd.f_spans;
+    List.iter
+      (fun cell ->
+        Mailbox.send t.tx_out cell;
+        t.stats.cells_sent <- t.stats.cells_sent + 1)
+      cmd.f_cells;
+    (match cmd.f_done with Some f -> f () | None -> ());
+    loop ()
+  in
+  loop ()
+
+(* Strict priority, round-robin within a priority level. Under coarse
+   multiplexing ([Pdu_at_once]) an in-progress PDU is always finished
+   first, regardless of what else is queued. *)
+let pick_tx_channel t =
+  let in_progress =
+    match t.cfg.tx_mux with
+    | Cell_interleave -> None
+    | Pdu_at_once ->
+        Array.fold_left
+          (fun acc ch -> if ch.txst <> None then Some ch else acc)
+          None t.channels
+  in
+  match in_progress with
+  | Some ch -> Some ch
+  | None ->
+  let best = ref None in
+  for i = 0 to t.cfg.n_channels - 1 do
+    let idx = (t.rr_cursor + i) mod t.cfg.n_channels in
+    let ch = t.channels.(idx) in
+    if try_load_pdu t ch then
+      match !best with
+      | Some (b, _) when t.channels.(b).priority <= ch.priority -> ()
+      | _ -> best := Some (idx, ch)
+  done;
+  match !best with
+  | None -> None
+  | Some (idx, ch) ->
+      t.rr_cursor <- (idx + 1) mod t.cfg.n_channels;
+      Some ch
+
+let tx_processor t () =
+  let rec loop () =
+    (* Snapshot the kick counter before scanning: if an enqueue lands while
+       the scan's dual-port accesses are in progress, the counter moves and
+       we rescan instead of sleeping through the (already fired) signal. *)
+    let kicks = t.tx_kicks in
+    (match pick_tx_channel t with
+    | Some ch -> tx_emit t ch
+    | None -> if t.tx_kicks = kicks then Signal.wait t.tx_work);
+    loop ()
+  in
+  loop ()
+
+let tx_sender t () =
+  match t.tx_link with
+  | None -> () (* transmit side unused (receive-only experiments) *)
+  | Some link ->
+      let rec loop () =
+        let cell = Mailbox.recv t.tx_out in
+        Atm_link.send link cell;
+        loop ()
+      in
+      loop ()
+
+(* ------------------------------------------------------------------ *)
+(* Receive side. *)
+
+let reset_vc vc =
+  Sar.reset vc.sar;
+  Hashtbl.reset vc.bufs;
+  (* buf_size persists: buffer pools are uniform per channel. *)
+  vc.next_post <- 0;
+  vc.total <- -1;
+  vc.dropping <- false
+
+(* Return the PDU's unposted buffers to the VC's private pool. *)
+let recycle_buffers vc =
+  Hashtbl.iter (fun _ b -> if not b.posted then Queue.add b.bdesc vc.fbufs) vc.bufs
+
+let take_free_buffer vc =
+  match Queue.take_opt vc.fbufs with
+  | Some d -> Some d
+  | None -> Desc_queue.board_dequeue vc.channel.free_q
+
+(* Make sure buffers 0..idx exist for the current PDU; false on buffer
+   exhaustion. *)
+let ensure_buffers vc idx =
+  let rec go i =
+    if i > idx then true
+    else if Hashtbl.mem vc.bufs i then go (i + 1)
+    else
+      match take_free_buffer vc with
+      | None -> false
+      | Some d ->
+          if vc.buf_size = 0 then vc.buf_size <- d.Desc.len
+          else if d.Desc.len <> vc.buf_size then
+            (* The model requires uniform buffer sizes per PDU; drivers
+               supply uniform pools, so treat mismatch as exhaustion. *)
+            failwith "Board: receive buffers of one PDU must be uniform";
+          Hashtbl.replace vc.bufs i { bdesc = d; filled = 0; posted = false };
+          go (i + 1)
+  in
+  go 0
+
+(* Enqueue one filled-buffer descriptor to the host. Runs in the DMA
+   engine, after the buffer's final bytes have landed in memory. An
+   interrupt is asserted only on the receive queue's empty -> non-empty
+   transition (paper 2.1.2). *)
+let deliver_desc t vc ch desc =
+  if Desc_queue.board_enqueue ch.rx_q desc then begin
+    (* Assert the interrupt iff ours is the only entry: the queue was empty
+       at the instant of insertion (checking afterwards avoids the lost
+       wake-up when the host drains while the enqueue is in progress). *)
+    if Desc_queue.count ch.rx_q = 1 then t.on_interrupt (Rx_nonempty ch.id)
+  end
+  else begin
+    (* Receive-queue overflow: the host is hopelessly behind. The data (or
+       abort marker) is lost; a real buffer returns to the VC's pool. *)
+    t.stats.cells_dropped <-
+      t.stats.cells_dropped + (desc.Desc.len / Cell.data_size);
+    if desc.Desc.len > 0 && vc.buf_size > 0 then
+      Queue.add (Desc.v ~addr:desc.Desc.addr ~len:vc.buf_size ()) vc.fbufs
+  end
+
+(* Decide, at reassembly-decision time, which buffer descriptors the
+   current DMA command must post once its data has landed: the in-order
+   prefix of buffers that are now full and, on PDU completion, all the
+   rest. Completion also resets the VC for the next PDU. *)
+let collect_posts t vc ~completed_total =
+  let posts = ref [] in
+  let push_desc idx ~eop ~len =
+    match Hashtbl.find_opt vc.bufs idx with
+    | None -> ()
+    | Some b ->
+        if not b.posted then begin
+          b.posted <- true;
+          posts :=
+            Desc.v ~addr:b.bdesc.Desc.addr ~len ~vci:vc.vci ~eop () :: !posts
+        end
+  in
+  (match completed_total with
+  | None ->
+      let continue = ref true in
+      while !continue do
+        match Hashtbl.find_opt vc.bufs vc.next_post with
+        | Some b when vc.buf_size > 0 && b.filled >= vc.buf_size ->
+            push_desc vc.next_post ~eop:false ~len:vc.buf_size;
+            vc.next_post <- vc.next_post + 1
+        | _ -> continue := false
+      done
+  | Some total ->
+      t.stats.pdus_received <- t.stats.pdus_received + 1;
+      let bs = vc.buf_size in
+      let nbufs = if bs = 0 then 0 else (total + bs - 1) / bs in
+      for idx = vc.next_post to nbufs - 1 do
+        let len = min bs (total - (idx * bs)) in
+        push_desc idx ~eop:(idx = nbufs - 1) ~len
+      done;
+      recycle_buffers vc;
+      reset_vc vc);
+  List.rev !posts
+
+(* Target spans in host memory for a placement at framed-PDU [offset]. *)
+let placement_spans vc ~offset ~len =
+  let rec go offset len acc =
+    if len = 0 then Some (List.rev acc)
+    else if vc.buf_size = 0 then
+      (* The first buffer taken for a PDU fixes its buffer size. *)
+      if ensure_buffers vc 0 then go offset len acc else None
+    else begin
+      let bs = vc.buf_size in
+      let idx = offset / bs in
+      if not (ensure_buffers vc idx) then None
+      else begin
+        let b = Hashtbl.find vc.bufs idx in
+        let in_buf = offset mod bs in
+        let chunk = min len (bs - in_buf) in
+        go (offset + chunk) (len - chunk)
+          ((idx, b.bdesc.Desc.addr + in_buf, chunk) :: acc)
+      end
+    end
+  in
+  go offset len []
+
+(* Handle a placement decision: update the reassembly bookkeeping
+   immediately (the receive processor owns this state) and build the DMA
+   command whose post step delivers any now-complete buffers. Returns None
+   when the PDU must be dropped for lack of buffers. *)
+let dma_cmd_of_placement t vc (p : Sar.placement) ~completed_total =
+  match placement_spans vc ~offset:p.Sar.offset ~len:Cell.data_size with
+  | None -> None
+  | Some spans ->
+      let page_spans =
+        List.concat_map
+          (fun (idx, addr, len) ->
+            List.map
+              (fun (a, l) -> (idx, a, l))
+              (split_at_pages t.cfg.page_size (addr, len)))
+          spans
+      in
+      let data = p.Sar.cell.Cell.data in
+      let pieces = ref [] and off = ref 0 in
+      List.iter
+        (fun (idx, addr, len) ->
+          pieces := (addr, Bytes.sub data !off len) :: !pieces;
+          (match Hashtbl.find_opt vc.bufs idx with
+          | Some b -> b.filled <- b.filled + len
+          | None -> ());
+          off := !off + len)
+        page_spans;
+      let posts = collect_posts t vc ~completed_total in
+      let ch = vc.channel in
+      let post () = List.iter (deliver_desc t vc ch) posts in
+      Some { spans = List.rev !pieces; ncells = 1; post }
+
+let release_stash t vc = Queue.transfer vc.stash t.pending_cells
+
+let drop_pdu t vc =
+  t.stats.pdus_dropped_no_buffer <- t.stats.pdus_dropped_no_buffer + 1;
+  let partially_posted = vc.next_post > 0 in
+  recycle_buffers vc;
+  reset_vc vc;
+  release_stash t vc;
+  vc.dropping <- true;
+  (* If the host already holds some of this PDU's buffers, terminate its
+     chain with an abort marker (len 0, eop) so it can discard them. *)
+  if partially_posted then
+    deliver_desc t vc vc.channel
+      (Desc.v ~addr:0 ~len:0 ~vci:vc.vci ~eop:true ())
+
+(* Process one received cell: reassembly decision plus DMA submission.
+   Returns the placement when a further cell could be combined with it. *)
+let rx_handle_cell t (link, cell) =
+  t.stats.cells_received <- t.stats.cells_received + 1;
+  i960_work t t.cfg.rx_cycles_per_cell;
+  match Hashtbl.find_opt t.vcs cell.Cell.vci with
+  | None ->
+      t.stats.unknown_vci_cells <- t.stats.unknown_vci_cells + 1;
+      None
+  | Some vc ->
+      if vc.dropping then begin
+        t.stats.cells_dropped <- t.stats.cells_dropped + 1;
+        if cell.Cell.last_of_pdu then vc.dropping <- false;
+        None
+      end
+      else if Sar.in_progress vc.sar && Sar.link_finished vc.sar ~link then begin
+        if Sar.all_links_finished vc.sar then begin
+          (* Every sub-stream has ended but the PDU did not complete: cells
+             were lost on the wire. Abandon it so the VC cannot wedge. *)
+          Trace.emitf Trace.Board_rx ~now:(Engine.now t.eng)
+            "abandon incomplete PDU vci=%d (lost cells)" cell.Cell.vci;
+          t.stats.reassembly_errors <- t.stats.reassembly_errors + 1;
+          let partially_posted = vc.next_post > 0 in
+          recycle_buffers vc;
+          reset_vc vc;
+          release_stash t vc;
+          if partially_posted then
+            deliver_desc t vc vc.channel
+              (Desc.v ~addr:0 ~len:0 ~vci:vc.vci ~eop:true ());
+          (* reprocess this cell against the fresh state, after the
+             released stash *)
+          Queue.add (link, cell) t.pending_cells;
+          None
+        end
+        else begin
+          (* This link's share of the current PDU is done: the cell starts
+             the next PDU. Hold it until the current one completes. *)
+          Trace.emitf Trace.Board_rx ~now:(Engine.now t.eng)
+            "stash vci=%d seq=%d link=%d" cell.Cell.vci cell.Cell.seq link;
+          Queue.add (link, cell) vc.stash;
+          None
+        end
+      end
+      else begin
+        match Sar.push vc.sar ~link cell with
+        | Sar.Rejected reason ->
+            Trace.emitf Trace.Board_rx ~now:(Engine.now t.eng)
+              "reject vci=%d seq=%d link=%d: %s" cell.Cell.vci cell.Cell.seq
+              link reason;
+            t.stats.reassembly_errors <- t.stats.reassembly_errors + 1;
+            t.stats.cells_dropped <- t.stats.cells_dropped + 1;
+            let partially_posted = vc.next_post > 0 in
+            recycle_buffers vc;
+            reset_vc vc;
+            release_stash t vc;
+            if partially_posted then
+              deliver_desc t vc vc.channel
+                (Desc.v ~addr:0 ~len:0 ~vci:vc.vci ~eop:true ());
+            None
+        | Sar.Placed p -> (
+            match dma_cmd_of_placement t vc p ~completed_total:None with
+            | None ->
+                drop_pdu t vc;
+                None
+            | Some cmd -> Some (vc, p, cmd, false))
+        | Sar.Completed (p, total) -> (
+            (* Release any held next-PDU cells for reprocessing, in
+               arrival order, ahead of new arrivals. *)
+            let release () = release_stash t vc in
+            match
+              dma_cmd_of_placement t vc p ~completed_total:(Some total)
+            with
+            | None ->
+                drop_pdu t vc;
+                release ();
+                None
+            | Some cmd ->
+                release ();
+                Some (vc, p, cmd, true))
+      end
+
+(* Can a second cell's DMA be merged with the first's? Only when the two
+   payloads are physically consecutive and in the same page. *)
+let combinable (cmd1 : dma_cmd) (cmd2 : dma_cmd) ~page_size =
+  match (cmd1.spans, cmd2.spans) with
+  | [ (a1, d1) ], [ (a2, _) ] ->
+      a2 = a1 + Bytes.length d1 && a1 / page_size = (a2 + 43) / page_size
+  | _ -> false
+
+let submit_dma t cmd =
+  t.stats.dma_rx_transactions <-
+    t.stats.dma_rx_transactions + List.length cmd.spans;
+  if List.length cmd.spans > 1 then
+    t.stats.boundary_splits <-
+      t.stats.boundary_splits + (List.length cmd.spans - 1);
+  Mailbox.send t.rx_dma_q cmd
+
+let rx_processor t () =
+  let recv () =
+    match Queue.take_opt t.pending_cells with
+    | Some c -> c
+    | None -> (
+        match t.recv_fn with
+        | Some f -> f ()
+        | None -> failwith "Board: receive side not attached")
+  in
+  let rec loop () =
+    let c1 = recv () in
+    (match rx_handle_cell t c1 with
+    | None -> ()
+    | Some (_vc, _p, cmd, _done1) -> submit_dma t cmd);
+    loop ()
+  in
+  loop ()
+
+let exec_dma t (cmd : dma_cmd) =
+  List.iter
+    (fun (addr, data) ->
+      Tc.dma_write t.bus ~bytes:(Bytes.length data);
+      Phys_mem.blit_from_bytes t.mem ~src:data ~src_off:0 ~dst:addr
+        ~len:(Bytes.length data);
+      t.on_dma_write ~addr ~len:(Bytes.length data))
+    cmd.spans;
+  cmd.post ()
+
+let rx_dma_engine t () =
+  let rec loop () =
+    let cmd1 = Mailbox.recv t.rx_dma_q in
+    (* Double-cell DMA (2.5.1): when the next queued command's payload is
+       physically consecutive with this one's (and in the same page), the
+       controller moves both in a single, longer bus transaction. This is
+       where "looking at two cell headers" pays off: the command queue is
+       non-empty whenever cells arrive as fast as they are served. *)
+    (match
+       if t.cfg.dma_mode = Double_cell then Mailbox.try_recv t.rx_dma_q
+       else None
+     with
+    | Some cmd2 when combinable cmd1 cmd2 ~page_size:t.cfg.page_size ->
+        let a1, d1 = List.hd cmd1.spans in
+        let _, d2 = List.hd cmd2.spans in
+        let merged = Bytes.cat d1 d2 in
+        t.stats.combined_dmas <- t.stats.combined_dmas + 1;
+        Tc.dma_write t.bus ~bytes:(Bytes.length merged);
+        Phys_mem.blit_from_bytes t.mem ~src:merged ~src_off:0 ~dst:a1
+          ~len:(Bytes.length merged);
+        t.on_dma_write ~addr:a1 ~len:(Bytes.length merged);
+        cmd1.post ();
+        cmd2.post ()
+    | Some cmd2 ->
+        exec_dma t cmd1;
+        exec_dma t cmd2
+    | None -> exec_dma t cmd1);
+    loop ()
+  in
+  loop ()
+
+(* ------------------------------------------------------------------ *)
+
+let attach t ~tx_link ~rx_link =
+  t.tx_link <- Some tx_link;
+  t.recv_fn <- Some (fun () -> Atm_link.recv rx_link);
+  t.try_recv_fn <- Some (fun () -> Atm_link.try_recv rx_link)
+
+let start_fictitious_source t ~pdus ?rate_mbps () =
+  if pdus = [] then invalid_arg "Board.start_fictitious_source: no PDUs";
+  let rate =
+    match rate_mbps with
+    | Some r -> r
+    | None ->
+        (* Payload rate of the striped OC-12: 4 x 155.52 x 44/53. *)
+        4.0 *. 155.52 *. 44.0 /. 53.0
+  in
+  let inter_cell_ns =
+    int_of_float
+      (Float.round (float_of_int (Cell.data_size * 8) /. rate *. 1000.0))
+  in
+  let cells =
+    Array.of_list
+      (List.concat_map
+         (fun (vci, pdu) -> Sar.segment ~vci ~nlinks:t.cfg.nlinks pdu)
+         pdus)
+  in
+  let mbox = Mailbox.create t.eng ~capacity:t.cfg.rx_fifo_cells () in
+  Process.spawn t.eng ~name:"fictitious-source" (fun () ->
+      (* Pace against an absolute schedule so transient FIFO backpressure
+         does not permanently lower the offered rate. *)
+      let rec loop i next =
+        let now = Engine.now t.eng in
+        if next > now then Process.sleep t.eng (next - now);
+        let cell = cells.(i) in
+        (* Blocks when the FIFO is full: "as fast as the receiving host
+           could absorb them". *)
+        Mailbox.send mbox (cell.Cell.seq mod t.cfg.nlinks, cell);
+        loop ((i + 1) mod Array.length cells)
+          (max next (Engine.now t.eng - (8 * inter_cell_ns)) + inter_cell_ns)
+      in
+      loop 0 (Engine.now t.eng));
+  t.recv_fn <- Some (fun () -> Mailbox.recv mbox);
+  t.try_recv_fn <- Some (fun () -> Mailbox.try_recv mbox)
+
+let start t =
+  if t.started then invalid_arg "Board.start: already started";
+  t.started <- true;
+  Process.spawn t.eng ~name:"tx-processor" (tx_processor t);
+  Process.spawn t.eng ~name:"tx-dma" (tx_dma_engine t);
+  Process.spawn t.eng ~name:"tx-sender" (tx_sender t);
+  if t.recv_fn <> None then begin
+    Process.spawn t.eng ~name:"rx-processor" (rx_processor t);
+    Process.spawn t.eng ~name:"rx-dma" (rx_dma_engine t)
+  end;
+  (* Wake the transmit processor whenever any channel gets new work; the
+     kick counter is bumped synchronously inside the enqueue so a kick can
+     never be lost while the processor is mid-scan. *)
+  Array.iter
+    (fun ch ->
+      Desc_queue.set_on_enqueue ch.tx_q (fun () ->
+          t.tx_kicks <- t.tx_kicks + 1;
+          Signal.broadcast t.tx_work))
+    t.channels
+
+let debug_tx_state t =
+  let chs =
+    Array.to_list t.channels
+    |> List.filter_map (fun ch ->
+           let q = Desc_queue.count ch.tx_q in
+           let st =
+             match ch.txst with
+             | None -> "-"
+             | Some p -> Printf.sprintf "%d/%d" p.next (Array.length p.cells)
+           in
+           if q = 0 && ch.txst = None then None
+           else Some (Printf.sprintf "ch%d{q=%d ahead=%d pdu=%s}" ch.id q
+                        ch.peek_ahead st))
+  in
+  Printf.sprintf "kicks=%d fetch_q=%d out=%d %s" t.tx_kicks
+    (Mailbox.length t.tx_fetch_q)
+    (Mailbox.length t.tx_out)
+    (String.concat " " chs)
+
+let tx_idle t =
+  Array.for_all
+    (fun ch -> ch.txst = None && Desc_queue.is_empty ch.tx_q)
+    t.channels
+  && Mailbox.is_empty t.tx_fetch_q && Mailbox.is_empty t.tx_out
+

@@ -1,0 +1,169 @@
+(** The OSIRIS network adaptor.
+
+    Two mostly independent halves — send and receive — each controlled by an
+    Intel 80960 (modelled as a simulation process with a per-cell cycle
+    budget), communicating with the host through descriptor queues in
+    dual-port memory and moving all network data by DMA ({!Osiris_bus}).
+
+    {2 Channels}
+
+    The dual-port memory is partitioned into sixteen 4 KB pages per
+    direction, each holding a transmit queue (transmit side) or a
+    free-buffer/receive queue pair (receive side). Channel 0 belongs to the
+    operating system; the rest can be opened as {e application device
+    channels} (paper §3.2) with a VCI set, a transmit priority, and a list
+    of authorized physical pages that the on-board processors enforce,
+    raising a protection-violation interrupt on an unauthorized buffer
+    address.
+
+    {2 Transmit path}
+
+    The host enqueues a PDU as a chain of buffer descriptors. The transmit
+    processor reads the chain, segments the (AAL5-framed) PDU into cells,
+    fetches each cell's data by DMA — stopping at page boundaries and buffer
+    ends, per the modified DMA controller of §2.5.2 — and hands cells to the
+    striped link. Channels are served by strict priority and, within a
+    priority level, cell-by-cell round-robin (the fine-grained multiplexing
+    of §2.5.1). Completion is signalled by tail-pointer advance, never by
+    interrupt; a host that found the queue full can request a single
+    interrupt at the half-empty mark (§2.1.2).
+
+    {2 Receive path}
+
+    The receive processor reads (link, cell) pairs from the input FIFO,
+    demultiplexes on the VCI to a channel and its reassembly state, decides
+    the host memory address of the payload (any {!Osiris_atm.Sar.strategy}),
+    and issues one DMA command per cell — or one per {e two} cells when
+    double-cell DMA is enabled and two successive payloads land contiguously
+    (§2.5.1). Filled buffers are posted to the channel's receive queue; an
+    interrupt is asserted only on that queue's empty → non-empty transition.
+    When a channel has no free buffers, the PDU is dropped on the board,
+    before it costs the host anything (§3.1's priority-drop behaviour). *)
+
+module Sar = Osiris_atm.Sar
+
+type dma_mode = Single_cell | Double_cell
+
+type tx_mux = Cell_interleave | Pdu_at_once
+(** Transmit multiplexing granularity (§2.5.1): interleave cells of
+    different channels' PDUs (fine-grained, good for latency), or finish
+    each PDU before starting another (coarse: simpler, but a small message
+    waits behind a whole bulk PDU). *)
+
+type config = {
+  dma_mode : dma_mode;
+  tx_mux : tx_mux;
+  queue_size : int;  (** descriptor slots per queue (paper: 64) *)
+  locking : Desc_queue.locking;
+  reassembly : Sar.strategy;
+  nlinks : int;  (** stripe width segmentation targets *)
+  i960_hz : int;
+  tx_cycles_per_cell : int;  (** transmit processor work per cell *)
+  rx_cycles_per_cell : int;  (** receive processor work per cell *)
+  combine_saving_cycles : int;
+      (** receive cycles saved on the second cell of a combined pair *)
+  tx_combine_saving_cycles : int;
+      (** transmit cycles saved on the second cell of a double-cell fetch *)
+  queue_word_cycles : int;  (** i960 cycles per dual-port word touched *)
+  n_channels : int;  (** 16 *)
+  max_pdu_cells : int;  (** reassembly window *)
+  page_size : int;  (** DMA transactions never cross this boundary *)
+  rx_fifo_cells : int;  (** input staging when fed by a generator *)
+}
+
+val default_config : config
+
+type interrupt_reason =
+  | Rx_nonempty of int  (** channel id *)
+  | Tx_half_empty of int
+  | Protection_violation of int
+
+type stats = {
+  mutable cells_sent : int;
+  mutable cells_received : int;
+  mutable pdus_sent : int;
+  mutable pdus_received : int;
+  mutable dma_tx_transactions : int;
+  mutable dma_rx_transactions : int;
+  mutable combined_dmas : int;  (** receive DMAs that carried two cells *)
+  mutable boundary_splits : int;
+      (** extra transactions forced by page/buffer boundaries *)
+  mutable pdus_dropped_no_buffer : int;
+  mutable cells_dropped : int;
+  mutable reassembly_errors : int;
+  mutable protection_faults : int;
+  mutable unknown_vci_cells : int;
+}
+
+type t
+type channel
+
+val create :
+  Osiris_sim.Engine.t ->
+  bus:Osiris_bus.Turbochannel.t ->
+  mem:Osiris_mem.Phys_mem.t ->
+  on_interrupt:(interrupt_reason -> unit) ->
+  ?on_dma_write:(addr:int -> len:int -> unit) ->
+  config ->
+  t
+(** [on_dma_write] is how the host's cache model observes receive DMA (to
+    leave stale lines or update them, per its coherence mode). *)
+
+val config : t -> config
+val engine : t -> Osiris_sim.Engine.t
+val stats : t -> stats
+
+val attach : t -> tx_link:Osiris_link.Atm_link.t -> rx_link:Osiris_link.Atm_link.t -> unit
+(** Connect the board to its outgoing and incoming striped links. *)
+
+val start : t -> unit
+(** Spawn the transmit and receive processor pipelines. Call once, after
+    {!attach} (or before {!start_fictitious_source}). *)
+
+val start_fictitious_source :
+  t -> pdus:(int * Bytes.t) list -> ?rate_mbps:float -> unit -> unit
+(** Program the receive processor to synthesize the given (VCI, PDU) pairs,
+    cyclically, at the given data rate (default: the 516 Mb/s payload rate
+    of a striped OC-12), instead of reading the link — the paper's §4
+    receive-side experiment. Must be called instead of {!attach}. *)
+
+(** {2 Channels} *)
+
+val kernel_channel : t -> channel
+
+val open_channel : t -> ?priority:int -> unit -> channel
+(** Allocate one of the remaining queue-page pairs (an ADC). Lower
+    [priority] is served first on transmit. Raises [Failure] when all pages
+    are taken. *)
+
+val channel_id : channel -> int
+val tx_queue : channel -> Desc_queue.t
+val free_queue : channel -> Desc_queue.t
+val rx_queue : channel -> Desc_queue.t
+
+val set_allowed_pages : channel -> Osiris_mem.Pbuf.t list option -> unit
+(** Physical ranges this channel may name in descriptors; [None] (the
+    kernel's setting) means unrestricted. *)
+
+val set_priority : channel -> int -> unit
+
+val bind_vci : t -> vci:int -> channel -> unit
+(** Route incoming cells with this VCI to the channel. Each path/connection
+    binds its own VCI — VCIs are treated as an abundant resource (§3.1). *)
+
+val unbind_vci : t -> vci:int -> unit
+
+val supply_vci_buffer : t -> vci:int -> Desc.t -> bool
+(** Host-side: push a preallocated per-VCI buffer (a cached fbuf, §3.1) that
+    the receive processor will prefer over the channel's generic free queue
+    for this VCI. Charged like a free-queue enqueue. [false] when the
+    per-VCI queue is full. *)
+
+val vci_buffer_count : t -> vci:int -> int
+
+val tx_idle : t -> bool
+(** True when no channel has transmit work pending or in progress. *)
+
+val debug_tx_state : t -> string
+(** One-line dump of the transmit machinery (queue depths, in-progress
+    segmentation, staging FIFOs) for diagnosing stalls. *)

@@ -1,0 +1,23 @@
+type t = { addr : int; len : int; vci : int; eop : bool }
+
+let words = 2
+
+let v ~addr ~len ?(vci = 0) ?(eop = true) () =
+  if len < 0 then invalid_arg "Desc.v: negative length";
+  { addr; len; vci; eop }
+
+let of_pbuf ?(vci = 0) ?(eop = true) (b : Osiris_mem.Pbuf.t) =
+  { addr = b.Osiris_mem.Pbuf.addr; len = b.Osiris_mem.Pbuf.len; vci; eop }
+
+let to_pbuf t = Osiris_mem.Pbuf.v ~addr:t.addr ~len:t.len
+
+let chain_of_pbufs ~vci pbufs =
+  let n = List.length pbufs in
+  List.mapi (fun i b -> of_pbuf ~vci ~eop:(i = n - 1) b) pbufs
+
+let pp fmt t =
+  Format.fprintf fmt "desc(%#x,+%d,vci=%d%s)" t.addr t.len t.vci
+    (if t.eop then ",eop" else "")
+
+let equal a b =
+  a.addr = b.addr && a.len = b.len && a.vci = b.vci && a.eop = b.eop

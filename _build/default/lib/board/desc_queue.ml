@@ -1,0 +1,261 @@
+open Osiris_sim
+
+type locking = Lock_free | Spin_lock
+
+type direction = Host_to_board | Board_to_host
+
+type hooks = {
+  host_pio_read : int -> unit;
+  host_pio_write : int -> unit;
+  board_access : int -> unit;
+}
+
+let free_hooks =
+  {
+    host_pio_read = (fun _ -> ());
+    host_pio_write = (fun _ -> ());
+    board_access = (fun _ -> ());
+  }
+
+type access_stats = {
+  mutable host_reads : int;
+  mutable host_writes : int;
+  mutable board_words : int;
+  mutable shadow_hits : int;
+}
+
+type t = {
+  size : int;
+  direction : direction;
+  locking : locking;
+  hooks : hooks;
+  slots : Desc.t option array;
+  mutable head : int; (* next slot the writer fills *)
+  mutable tail : int; (* next slot the reader drains *)
+  (* Host-side shadow copies of the pointer the other side owns. *)
+  mutable shadow_head : int;
+  mutable shadow_tail : int;
+  mutable host_waiting : bool;
+  mutable n_enq : int;
+  mutable n_deq : int;
+  lock : Resource.t option;
+  mutable on_enqueue : unit -> unit;
+  enqueued : Signal.t;
+  dequeued : Signal.t;
+  stats : access_stats;
+}
+
+let create eng ~size ~direction ~locking ~hooks =
+  if size < 2 then invalid_arg "Desc_queue.create: size must be >= 2";
+  {
+    size;
+    direction;
+    locking;
+    hooks;
+    slots = Array.make size None;
+    head = 0;
+    tail = 0;
+    shadow_head = 0;
+    shadow_tail = 0;
+    host_waiting = false;
+    n_enq = 0;
+    n_deq = 0;
+    lock =
+      (match locking with
+      | Lock_free -> None
+      | Spin_lock -> Some (Resource.create eng ~capacity:1));
+    on_enqueue = (fun () -> ());
+    enqueued = Signal.create eng;
+    dequeued = Signal.create eng;
+    stats = { host_reads = 0; host_writes = 0; board_words = 0; shadow_hits = 0 };
+  }
+
+let size t = t.size
+let direction t = t.direction
+let count t = (t.head - t.tail + t.size) mod t.size
+let total_enqueued t = t.n_enq
+let total_dequeued t = t.n_deq
+let is_empty t = t.head = t.tail
+let is_full t = (t.head + 1) mod t.size = t.tail
+let set_on_enqueue t f = t.on_enqueue <- f
+let enqueued t = t.enqueued
+let dequeued t = t.dequeued
+let access_stats t = t.stats
+
+let host_read t n =
+  t.stats.host_reads <- t.stats.host_reads + n;
+  t.hooks.host_pio_read n
+
+let host_write t n =
+  t.stats.host_writes <- t.stats.host_writes + n;
+  t.hooks.host_pio_write n
+
+let board_touch t n =
+  t.stats.board_words <- t.stats.board_words + n;
+  t.hooks.board_access n
+
+let with_host_lock t f =
+  match t.lock with
+  | None -> f ()
+  | Some lock ->
+      host_read t 1 (* test-and-set attempt *);
+      Resource.acquire lock;
+      Fun.protect ~finally:(fun () ->
+          host_write t 1 (* release store *);
+          Resource.release lock)
+        f
+
+let with_board_lock t f =
+  match t.lock with
+  | None -> f ()
+  | Some lock ->
+      board_touch t 1;
+      Resource.acquire lock;
+      Fun.protect ~finally:(fun () ->
+          board_touch t 1;
+          Resource.release lock)
+        f
+
+(* Host view of fullness: the host owns/caches head, shadows tail. Under
+   the spin lock both pointers are re-read every time. *)
+let host_sees_full t =
+  match t.locking with
+  | Spin_lock ->
+      host_read t 2;
+      is_full t
+  | Lock_free ->
+      if (t.head + 1) mod t.size <> t.shadow_tail then begin
+        t.stats.shadow_hits <- t.stats.shadow_hits + 1;
+        false
+      end
+      else begin
+        host_read t 1;
+        t.shadow_tail <- t.tail;
+        is_full t
+      end
+
+let host_sees_empty t =
+  match t.locking with
+  | Spin_lock ->
+      host_read t 2;
+      is_empty t
+  | Lock_free ->
+      if t.shadow_head <> t.tail then begin
+        t.stats.shadow_hits <- t.stats.shadow_hits + 1;
+        false
+      end
+      else begin
+        host_read t 1;
+        t.shadow_head <- t.head;
+        is_empty t
+      end
+
+let require t dir what =
+  if t.direction <> dir then
+    invalid_arg (Printf.sprintf "Desc_queue.%s: wrong direction" what)
+
+let host_enqueue t d =
+  require t Host_to_board "host_enqueue";
+  with_host_lock t (fun () ->
+      if host_sees_full t then false
+      else begin
+        t.slots.(t.head) <- Some d;
+        host_write t Desc.words;
+        t.head <- (t.head + 1) mod t.size;
+        t.n_enq <- t.n_enq + 1;
+        host_write t 1 (* head pointer *);
+        t.on_enqueue ();
+        Signal.broadcast t.enqueued;
+        true
+      end)
+
+let host_dequeue t =
+  require t Board_to_host "host_dequeue";
+  with_host_lock t (fun () ->
+      if host_sees_empty t then None
+      else begin
+        let d = t.slots.(t.tail) in
+        host_read t Desc.words;
+        t.slots.(t.tail) <- None;
+        t.tail <- (t.tail + 1) mod t.size;
+        t.n_deq <- t.n_deq + 1;
+        host_write t 1 (* tail pointer *);
+        Signal.broadcast t.dequeued;
+        d
+      end)
+
+let board_enqueue t d =
+  require t Board_to_host "board_enqueue";
+  with_board_lock t (fun () ->
+      if is_full t then begin
+        board_touch t 1;
+        false
+      end
+      else begin
+        t.slots.(t.head) <- Some d;
+        t.head <- (t.head + 1) mod t.size;
+        t.n_enq <- t.n_enq + 1;
+        board_touch t (Desc.words + 2) (* descriptor + both pointers *);
+        t.on_enqueue ();
+        Signal.broadcast t.enqueued;
+        true
+      end)
+
+let board_dequeue t =
+  require t Host_to_board "board_dequeue";
+  with_board_lock t (fun () ->
+      if is_empty t then begin
+        board_touch t 1;
+        None
+      end
+      else begin
+        let d = t.slots.(t.tail) in
+        t.slots.(t.tail) <- None;
+        t.tail <- (t.tail + 1) mod t.size;
+        t.n_deq <- t.n_deq + 1;
+        board_touch t (Desc.words + 2);
+        Signal.broadcast t.dequeued;
+        d
+      end)
+
+let board_peek t i =
+  require t Host_to_board "board_peek";
+  if i < 0 then invalid_arg "Desc_queue.board_peek: negative index";
+  if i >= count t then None
+  else begin
+    (* Snapshot before charging access time: the tail can advance during
+       the suspension (a concurrent completion), and the slot address must
+       correspond to the tail observed when the access was issued. *)
+    let v = t.slots.((t.tail + i) mod t.size) in
+    board_touch t (Desc.words + 1);
+    v
+  end
+
+let board_advance t n =
+  require t Host_to_board "board_advance";
+  if n < 0 || n > count t then
+    invalid_arg "Desc_queue.board_advance: advancing past the head";
+  with_board_lock t (fun () ->
+      for _ = 1 to n do
+        t.slots.(t.tail) <- None;
+        t.tail <- (t.tail + 1) mod t.size;
+        t.n_deq <- t.n_deq + 1
+      done;
+      if n > 0 then begin
+        board_touch t 1;
+        Signal.broadcast t.dequeued
+      end)
+
+let host_set_waiting t =
+  require t Host_to_board "host_set_waiting";
+  t.host_waiting <- true;
+  host_write t 1
+
+let board_test_waiting t =
+  require t Host_to_board "board_test_waiting";
+  board_touch t 1;
+  if t.host_waiting && count t <= t.size / 2 then begin
+    t.host_waiting <- false;
+    true
+  end
+  else false

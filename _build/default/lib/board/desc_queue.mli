@@ -1,0 +1,124 @@
+(** The lock-free single-reader/single-writer descriptor queue in dual-port
+    memory (paper §2.1.1), with cost-accurate access accounting.
+
+    The queue is an array of descriptors plus a head pointer (modified only
+    by the writer) and a tail pointer (modified only by the reader):
+
+    - [head = tail] — queue empty;
+    - [(head + 1) mod size = tail] — queue full.
+
+    Only 32-bit loads and stores of the dual-port memory are atomic, and the
+    protocol needs nothing more. Host accesses cross the TURBOchannel and
+    are charged as programmed I/O on the bus model; board accesses are local
+    i960 work and are charged as i960 time. The host additionally keeps
+    {e shadow copies} of the pointers it does not own, refreshing them with
+    a real (expensive) read only when the shadow is inconclusive — the
+    "minimize the number of load and store operations" discipline.
+
+    The [Spin_lock] mode implements the alternative the paper rejected: a
+    test-and-set register serializes every queue operation, both sides read
+    both pointers afresh under the lock, and lock contention delays whoever
+    comes second. It exists for the ablation benchmark. *)
+
+type locking = Lock_free | Spin_lock
+
+type direction =
+  | Host_to_board  (** transmit queue, free-buffer queue *)
+  | Board_to_host  (** receive queue *)
+
+(** How queue operations pay for their memory accesses. *)
+type hooks = {
+  host_pio_read : int -> unit;  (** host reads n dual-port words (blocking) *)
+  host_pio_write : int -> unit;  (** host writes n dual-port words *)
+  board_access : int -> unit;  (** board touches n dual-port words *)
+}
+
+val free_hooks : hooks
+(** No-cost hooks, for unit tests of the queue discipline itself. *)
+
+type t
+
+val create :
+  Osiris_sim.Engine.t -> size:int -> direction:direction -> locking:locking ->
+  hooks:hooks -> t
+(** [size] is the descriptor capacity ([size] slots, of which [size - 1] are
+    usable, as with any head/tail ring). *)
+
+val size : t -> int
+val direction : t -> direction
+
+val count : t -> int
+(** Occupancy, read without cost (simulation observability). *)
+
+val total_enqueued : t -> int
+(** Cumulative successful enqueues over the queue's lifetime. *)
+
+val total_dequeued : t -> int
+(** Cumulative dequeues/advances. The host uses this to detect transmit
+    completion by tail-pointer advance instead of interrupts (§2.1.2). *)
+
+val is_empty : t -> bool
+val is_full : t -> bool
+
+(** {2 Writer/reader operations}
+
+    Host operations are only legal on the side the direction gives the host,
+    and likewise for the board; violations raise [Invalid_argument]. All
+    operations may block (PIO transactions, lock acquisition) and must run
+    in process context. *)
+
+val host_enqueue : t -> Desc.t -> bool
+(** [Host_to_board] writer. [false] when full (after refreshing the shadow
+    tail). *)
+
+val host_dequeue : t -> Desc.t option
+(** [Board_to_host] reader. [None] when empty (after refreshing the shadow
+    head). *)
+
+val board_enqueue : t -> Desc.t -> bool
+(** [Board_to_host] writer. *)
+
+val board_dequeue : t -> Desc.t option
+(** [Host_to_board] reader. *)
+
+val board_peek : t -> int -> Desc.t option
+(** [board_peek q i]: read the descriptor [i] entries past the tail without
+    consuming ([Host_to_board] side only). Used by the transmit processor to
+    read a whole PDU chain before advancing the tail. *)
+
+val board_advance : t -> int -> unit
+(** Consume [n] entries previously examined with {!board_peek}. *)
+
+(** {2 Transmit-full protocol (paper §2.1.2)} *)
+
+val host_set_waiting : t -> unit
+(** Host found the queue full and suspends transmission; one PIO write. *)
+
+val board_test_waiting : t -> bool
+(** Board-side check-and-clear: true when the host had set the waiting flag
+    and the queue has drained to half empty — time to interrupt. *)
+
+(** {2 Events} *)
+
+val set_on_enqueue : t -> (unit -> unit) -> unit
+(** Install a callback invoked synchronously inside every successful
+    enqueue, before the {!enqueued} signal. The board uses this to count
+    transmit kicks race-free (a signal alone can fire while the transmit
+    processor is mid-scan and be lost). *)
+
+val enqueued : t -> Osiris_sim.Signal.t
+(** Broadcast after every enqueue. *)
+
+val dequeued : t -> Osiris_sim.Signal.t
+(** Broadcast after every dequeue / advance. *)
+
+(** {2 Accounting} *)
+
+type access_stats = {
+  mutable host_reads : int;  (** dual-port words the host read *)
+  mutable host_writes : int;
+  mutable board_words : int;
+  mutable shadow_hits : int;  (** pointer reads avoided by the shadow copy *)
+}
+
+val access_stats : t -> access_stats

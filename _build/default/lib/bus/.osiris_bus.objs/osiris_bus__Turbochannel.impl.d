@@ -1,0 +1,1 @@
+lib/bus/turbochannel.ml: Engine Osiris_sim Resource

@@ -1,0 +1,1 @@
+lib/bus/turbochannel.mli: Osiris_sim

@@ -1,0 +1,73 @@
+(** Transaction-level model of the TURBOchannel I/O bus.
+
+    The paper derives all of its hardware throughput bounds from three
+    numbers: the bus moves one 32-bit word per cycle at 25 MHz (800 Mb/s
+    peak), a DMA {e read} transaction (adaptor reading main memory, i.e. the
+    transmit direction) pays 13 cycles of overhead, and a DMA {e write}
+    (receive direction) pays 8 cycles. Hence 44-byte (11-word) transfers
+    yield 11/(11+13)·800 = 367 Mb/s transmit and 11/(11+8)·800 = 463 Mb/s
+    receive; 88-byte transfers yield 503 and 587 Mb/s (§2.5.1).
+
+    Two arbitration topologies are modelled:
+    - [Shared_bus] (DECstation 5000/200): every memory transaction — DMA,
+      CPU cache fill, CPU write-through — serializes on one resource, so DMA
+      and CPU activity steal bandwidth from each other (§4's explanation of
+      the 340 Mb/s receive ceiling and the 80 Mb/s checksum collapse).
+    - [Crossbar] (DEC 3000/600): DMA and CPU/memory traffic proceed
+      concurrently on separate ports. *)
+
+type topology = Shared_bus | Crossbar
+
+type config = {
+  clock_hz : int;  (** bus cycle rate; 25 MHz for TURBOchannel *)
+  width_bytes : int;  (** bytes moved per cycle; 4 for TURBOchannel *)
+  dma_read_overhead : int;  (** cycles of setup per DMA read transaction *)
+  dma_write_overhead : int;  (** cycles of setup per DMA write transaction *)
+  pio_read_cycles : int;  (** cycles for one programmed-I/O word read *)
+  pio_write_cycles : int;  (** cycles for one programmed-I/O word write *)
+  topology : topology;
+}
+
+val turbochannel_config : topology -> config
+(** The TURBOchannel constants above with the given topology. *)
+
+type t
+
+val create : Osiris_sim.Engine.t -> config -> t
+
+val config : t -> config
+
+val cycle_ns : t -> int
+(** Duration of one bus cycle in nanoseconds. *)
+
+val peak_mbps : t -> float
+
+(** The transaction operations below block the calling process for the
+    transaction's duration, arbitrating per the topology. *)
+
+val dma_read : t -> bytes:int -> unit
+(** Adaptor reads [bytes] from main memory (transmit direction). *)
+
+val dma_write : t -> bytes:int -> unit
+(** Adaptor writes [bytes] to main memory (receive direction). *)
+
+val cpu_access : t -> bytes:int -> overhead_cycles:int -> unit
+(** CPU-side memory transaction (cache fill or write-back of [bytes], with
+    the given setup overhead). Contends with DMA on [Shared_bus]; uses the
+    separate memory port on [Crossbar]. *)
+
+val pio_read_words : t -> words:int -> unit
+(** Programmed I/O: CPU reads [words] 32-bit words from adaptor memory, one
+    transaction each. Always crosses the I/O bus. *)
+
+val pio_write_words : t -> words:int -> unit
+
+val dma_transaction_ns : t -> dir:[ `Read | `Write ] -> bytes:int -> int
+(** Duration of a single DMA transaction, without queueing. *)
+
+val max_dma_mbps : t -> dir:[ `Read | `Write ] -> burst:int -> float
+(** Closed-form §2.5.1 bound: sustained data rate of back-to-back DMA
+    transactions of [burst] bytes. *)
+
+val busy_stats : t -> Osiris_sim.Resource.stats
+(** Utilization counters of the (I/O side of the) bus. *)

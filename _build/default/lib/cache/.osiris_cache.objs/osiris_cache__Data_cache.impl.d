@@ -1,0 +1,1 @@
+lib/cache/data_cache.ml: Array Bytes Engine Osiris_bus Osiris_mem Osiris_sim Process

@@ -1,0 +1,1 @@
+lib/cache/data_cache.mli: Bytes Osiris_bus Osiris_mem Osiris_sim

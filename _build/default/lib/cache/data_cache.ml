@@ -1,0 +1,186 @@
+open Osiris_sim
+module Phys_mem = Osiris_mem.Phys_mem
+module Tc = Osiris_bus.Turbochannel
+
+type coherence = Software | Hardware_update
+
+type config = {
+  size : int;
+  line_size : int;
+  coherence : coherence;
+  cpu_hz : int;
+  hit_cycles_per_word : int;
+  fill_overhead_cycles : int;
+  invalidate_cycles_per_word : int;
+}
+
+type line = { mutable tag : int; mutable valid : bool; data : Bytes.t }
+
+type stats = {
+  mutable hits : int;
+  mutable misses : int;
+  mutable invalidated_lines : int;
+  mutable stale_overlaps : int;
+  mutable stale_reads : int;
+}
+
+type t = {
+  eng : Engine.t;
+  mem : Phys_mem.t;
+  bus : Tc.t;
+  cfg : config;
+  lines : line array;
+  nlines : int;
+  mutable pressure_cursor : int;
+  stats : stats;
+}
+
+let create eng ~mem ~bus cfg =
+  if cfg.size <= 0 || cfg.line_size <= 0 || cfg.size mod cfg.line_size <> 0
+  then invalid_arg "Data_cache.create: size must be a multiple of line_size";
+  let nlines = cfg.size / cfg.line_size in
+  {
+    eng;
+    mem;
+    bus;
+    cfg;
+    nlines;
+    pressure_cursor = 0;
+    lines =
+      Array.init nlines (fun _ ->
+          { tag = -1; valid = false; data = Bytes.create cfg.line_size });
+    stats =
+      { hits = 0; misses = 0; invalidated_lines = 0; stale_overlaps = 0;
+        stale_reads = 0 };
+  }
+
+let config t = t.cfg
+
+let cpu_cycles_ns t cycles =
+  (* Round up so a nonzero cost never vanishes. *)
+  ((cycles * 1_000_000_000) + t.cfg.cpu_hz - 1) / t.cfg.cpu_hz
+
+let line_index t addr = addr / t.cfg.line_size mod t.nlines
+let line_tag addr line_size = addr / line_size
+let line_base tag line_size = tag * line_size
+
+(* Ensure the line containing [addr] is resident; charge fill cost on miss
+   and hit cost for consuming [words_used] words. *)
+let touch_line t addr ~words_used =
+  let tag = line_tag addr t.cfg.line_size in
+  let line = t.lines.(line_index t addr) in
+  if line.valid && line.tag = tag then t.stats.hits <- t.stats.hits + 1
+  else begin
+    t.stats.misses <- t.stats.misses + 1;
+    (* Fill from main memory across the bus (contends on a shared bus). *)
+    Tc.cpu_access t.bus ~bytes:t.cfg.line_size
+      ~overhead_cycles:t.cfg.fill_overhead_cycles;
+    Phys_mem.blit_to_bytes t.mem
+      ~src:(line_base tag t.cfg.line_size)
+      ~dst:line.data ~dst_off:0 ~len:t.cfg.line_size;
+    line.tag <- tag;
+    line.valid <- true
+  end;
+  Process.sleep t.eng
+    (cpu_cycles_ns t (words_used * t.cfg.hit_cycles_per_word));
+  line
+
+let read_into t ~addr ~len ~dst ~dst_off =
+  if len < 0 then invalid_arg "Data_cache.read_into: negative length";
+  let pos = ref addr and out = ref dst_off and remaining = ref len in
+  while !remaining > 0 do
+    let in_line = t.cfg.line_size - (!pos mod t.cfg.line_size) in
+    let chunk = min !remaining in_line in
+    let words = (chunk + 3) / 4 in
+    let line = touch_line t !pos ~words_used:words in
+    Bytes.blit line.data (!pos mod t.cfg.line_size) dst !out chunk;
+    pos := !pos + chunk;
+    out := !out + chunk;
+    remaining := !remaining - chunk
+  done;
+  (* Stale-read detection (model bookkeeping, not charged time). *)
+  let truth = Phys_mem.bytes_of_region t.mem ~addr ~len in
+  if not (Bytes.equal truth (Bytes.sub dst dst_off len)) then
+    t.stats.stale_reads <- t.stats.stale_reads + 1
+
+let read t ~addr ~len =
+  let out = Bytes.create len in
+  read_into t ~addr ~len ~dst:out ~dst_off:0;
+  out
+
+let write t ~addr ~src =
+  let len = Bytes.length src in
+  (* Write-through: memory is updated and resident lines refreshed. *)
+  Phys_mem.blit_from_bytes t.mem ~src ~src_off:0 ~dst:addr ~len;
+  let pos = ref addr and off = ref 0 and remaining = ref len in
+  while !remaining > 0 do
+    let in_line = t.cfg.line_size - (!pos mod t.cfg.line_size) in
+    let chunk = min !remaining in_line in
+    let tag = line_tag !pos t.cfg.line_size in
+    let line = t.lines.(line_index t !pos) in
+    if line.valid && line.tag = tag then
+      Bytes.blit src !off line.data (!pos mod t.cfg.line_size) chunk;
+    pos := !pos + chunk;
+    off := !off + chunk;
+    remaining := !remaining - chunk
+  done;
+  (* Write-through bus traffic: one word-sized write per word, amortized by
+     the write buffer into a burst. *)
+  Tc.cpu_access t.bus ~bytes:len ~overhead_cycles:1
+
+let iter_lines t ~addr ~len f =
+  if len > 0 then begin
+    let first = line_tag addr t.cfg.line_size in
+    let last = line_tag (addr + len - 1) t.cfg.line_size in
+    for tag = first to last do
+      f tag t.lines.(line_index t (line_base tag t.cfg.line_size))
+    done
+  end
+
+let invalidate t ~addr ~len =
+  let words = (len + 3) / 4 in
+  Process.sleep t.eng
+    (cpu_cycles_ns t (words * t.cfg.invalidate_cycles_per_word));
+  iter_lines t ~addr ~len (fun tag line ->
+      if line.valid && line.tag = tag then begin
+        line.valid <- false;
+        t.stats.invalidated_lines <- t.stats.invalidated_lines + 1
+      end)
+
+let invalidate_all t =
+  Array.iter
+    (fun line ->
+      if line.valid then begin
+        line.valid <- false;
+        t.stats.invalidated_lines <- t.stats.invalidated_lines + 1
+      end)
+    t.lines
+
+let pressure t ~lines =
+  for _ = 1 to lines do
+    let line = t.lines.(t.pressure_cursor) in
+    line.valid <- false;
+    t.pressure_cursor <- (t.pressure_cursor + 1) mod t.nlines
+  done
+
+let dma_wrote t ~addr ~len =
+  iter_lines t ~addr ~len (fun tag line ->
+      match t.cfg.coherence with
+      | Hardware_update ->
+          (* The 3000/600's second-level cache is updated (and, as modelled
+             here, allocated) by DMA writes, so arriving network data can
+             be read back at cache speed (paper §2.7/§4). *)
+          Phys_mem.blit_to_bytes t.mem
+            ~src:(line_base tag t.cfg.line_size)
+            ~dst:line.data ~dst_off:0 ~len:t.cfg.line_size;
+          line.tag <- tag;
+          line.valid <- true
+      | Software ->
+          if line.valid && line.tag = tag then
+            t.stats.stale_overlaps <- t.stats.stale_overlaps + 1)
+
+let resident t ~addr =
+  let line = t.lines.(line_index t addr) in
+  line.valid && line.tag = line_tag addr t.cfg.line_size
+
+let stats t = t.stats

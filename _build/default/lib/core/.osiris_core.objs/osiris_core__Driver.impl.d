@@ -1,0 +1,1 @@
+lib/core/driver.ml: Engine Fun Hashtbl List Machine Osiris_atm Osiris_board Osiris_cache Osiris_mem Osiris_os Osiris_sim Osiris_xkernel Printf Process Queue Resource Signal String

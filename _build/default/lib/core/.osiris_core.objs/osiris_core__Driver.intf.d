@@ -1,0 +1,1 @@
+lib/core/driver.mli: Machine Osiris_board Osiris_cache Osiris_mem Osiris_os Osiris_xkernel

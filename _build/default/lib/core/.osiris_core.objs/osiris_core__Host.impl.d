@@ -1,0 +1,1 @@
+lib/core/host.ml: Driver Engine Hashtbl Machine Osiris_board Osiris_bus Osiris_cache Osiris_fbufs Osiris_mem Osiris_os Osiris_proto Osiris_sim Osiris_util Osiris_xkernel Printf Sys

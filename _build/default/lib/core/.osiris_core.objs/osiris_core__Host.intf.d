@@ -1,0 +1,1 @@
+lib/core/host.mli: Driver Hashtbl Machine Osiris_board Osiris_bus Osiris_cache Osiris_fbufs Osiris_mem Osiris_os Osiris_proto Osiris_sim Osiris_xkernel

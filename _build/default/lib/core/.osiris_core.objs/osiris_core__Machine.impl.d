@@ -1,0 +1,1 @@
+lib/core/machine.ml: List Osiris_bus Osiris_cache Osiris_os Osiris_proto Osiris_sim String Time

@@ -1,0 +1,1 @@
+lib/core/machine.mli: Osiris_bus Osiris_cache Osiris_os Osiris_proto Osiris_sim

@@ -1,0 +1,1 @@
+lib/core/network.ml: Host Machine Osiris_board Osiris_link Osiris_sim Osiris_util

@@ -1,0 +1,1 @@
+lib/core/network.mli: Host Machine Osiris_link Osiris_sim

@@ -1,0 +1,1 @@
+lib/core/snapshot.ml: Driver Engine Format Host Osiris_board Osiris_bus Osiris_cache Osiris_os Osiris_proto Osiris_sim Resource Time

@@ -1,0 +1,1 @@
+lib/core/snapshot.mli: Driver Format Host Osiris_board Osiris_cache Osiris_proto Osiris_sim

@@ -1,0 +1,378 @@
+open Osiris_sim
+module Cpu = Osiris_os.Cpu
+module Cache = Osiris_cache.Data_cache
+module Wiring = Osiris_os.Wiring
+module Board = Osiris_board.Board
+module Desc = Osiris_board.Desc
+module Desc_queue = Osiris_board.Desc_queue
+module Vspace = Osiris_mem.Vspace
+module Msg = Osiris_xkernel.Msg
+module Demux = Osiris_xkernel.Demux
+module Sar = Osiris_atm.Sar
+
+type invalidation = Lazy | Eager | Eager_full
+
+type stats = {
+  mutable pdus_sent : int;
+  mutable pdus_received : int;
+  mutable bytes_received : int;
+  mutable aborted_chains : int;
+  mutable crc_drops : int;
+  mutable undeliverable : int;
+  mutable tx_full_stalls : int;
+  mutable rx_wakeups : int;
+}
+
+type pending_tx = {
+  upto : int; (* complete when tx_q total_dequeued >= upto *)
+  cleanup : unit -> unit;
+}
+
+type t = {
+  eng : Engine.t;
+  cpu : Cpu.t;
+  cache : Cache.t;
+  wiring : Wiring.t;
+  board : Board.t;
+  channel : Board.channel;
+  vs : Vspace.t;
+  costs : Machine.driver_costs;
+  cpu_priority : int;
+  demux : Demux.t;
+  mutable invalidation : invalidation;
+  buf_size : int;
+  pool : int Queue.t; (* idle buffer vaddrs *)
+  by_paddr : (int, int) Hashtbl.t; (* buffer paddr -> vaddr *)
+  mutable outstanding : int;
+  tx_lock : Resource.t; (* serializes concurrent senders' descriptor chains *)
+  rx_sig : Signal.t;
+  tx_space : Signal.t;
+  pending : pending_tx Queue.t;
+  pending_sig : Signal.t;
+  stats : stats;
+}
+
+let alloc_buffer vs ~size ~contiguous =
+  if contiguous then
+    match Vspace.alloc_contiguous vs ~len:size with
+    | Some v -> v
+    | None -> failwith "Driver: no physically contiguous memory for buffers"
+  else Vspace.alloc vs ~len:size
+
+let create ~cpu ~cache ~wiring ~board ~channel ~vs ~costs ~demux ~invalidation
+    ~rx_buffer_size ~rx_pool_buffers ~contiguous_buffers ?(cpu_priority = 10)
+    () =
+  let buf_size =
+    if contiguous_buffers then rx_buffer_size
+    else Vspace.page_size vs (* §2.2: page is the largest contiguous unit *)
+  in
+  let t =
+    {
+      eng = Board.engine board;
+      cpu;
+      cache;
+      wiring;
+      board;
+      channel;
+      vs;
+      costs;
+      cpu_priority;
+      demux;
+      invalidation;
+      buf_size;
+      pool = Queue.create ();
+      outstanding = 0;
+      tx_lock = Resource.create (Board.engine board) ~capacity:1;
+      by_paddr = Hashtbl.create 64;
+      rx_sig = Signal.create (Board.engine board);
+      tx_space = Signal.create (Board.engine board);
+      pending = Queue.create ();
+      pending_sig = Signal.create (Board.engine board);
+      stats =
+        {
+          pdus_sent = 0;
+          pdus_received = 0;
+          bytes_received = 0;
+          aborted_chains = 0;
+          crc_drops = 0;
+          undeliverable = 0;
+          tx_full_stalls = 0;
+          rx_wakeups = 0;
+        };
+    }
+  in
+  let n_bufs =
+    if contiguous_buffers then rx_pool_buffers
+    else rx_pool_buffers * (rx_buffer_size / buf_size)
+  in
+  (* The receive queue must be able to hold every circulating buffer
+     (paper: 64-entry queues and 64 buffers): otherwise a slow host can
+     make the board drop descriptors from a full receive queue, losing
+     end-of-PDU markers. *)
+  let n_bufs =
+    min n_bufs (Desc_queue.size (Board.rx_queue channel) - 1)
+  in
+  for _ = 1 to n_bufs do
+    let vaddr = alloc_buffer vs ~size:buf_size ~contiguous:contiguous_buffers in
+    Vspace.wire vs ~vaddr ~len:buf_size;
+    Hashtbl.replace t.by_paddr (Vspace.translate vs vaddr) vaddr;
+    Queue.add vaddr t.pool
+  done;
+  t
+
+let free_desc_of t vaddr =
+  Desc.v ~addr:(Vspace.translate t.vs vaddr) ~len:t.buf_size ()
+
+(* Keep the free queue stocked from the pool (no cost beyond the queue's
+   own PIO accounting; runs in the calling process). Take the buffer out
+   of the pool before the (suspending) enqueue: several processes can be
+   replenishing at once (init, receive thread, disposal finalizers), and a
+   peek-then-pop discipline would hand the same buffer out twice. *)
+let replenish_free_queue t =
+  let continue = ref true in
+  while !continue do
+    match Queue.take_opt t.pool with
+    | None -> continue := false
+    | Some vaddr ->
+        if
+          not
+            (Desc_queue.host_enqueue (Board.free_queue t.channel)
+               (free_desc_of t vaddr))
+        then begin
+          Queue.add vaddr t.pool;
+          continue := false
+        end
+  done
+
+let recycle t vaddrs =
+  t.outstanding <- t.outstanding - List.length vaddrs;
+  List.iter (fun v -> Queue.add v t.pool) vaddrs
+
+let claim t n = t.outstanding <- t.outstanding + n
+
+let outstanding_buffers t = t.outstanding
+let on_rx_nonempty t = Signal.broadcast t.rx_sig
+let on_tx_half_empty t = Signal.broadcast t.tx_space
+let set_invalidation t p = t.invalidation <- p
+let stats t = t.stats
+let pool_available t = Queue.length t.pool
+
+let buffer_regions t =
+  Hashtbl.fold
+    (fun paddr _ acc -> Osiris_mem.Pbuf.v ~addr:paddr ~len:t.buf_size :: acc)
+    t.by_paddr []
+
+let supply_vci_buffers t ~vci ~n =
+  for _ = 1 to n do
+    match Queue.take_opt t.pool with
+    | None -> ()
+    | Some vaddr ->
+        if
+          not
+            (Board.supply_vci_buffer t.board ~vci (free_desc_of t vaddr))
+        then Queue.add vaddr t.pool
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Receive path. *)
+
+let recycle_chain t chain =
+  recycle t
+    (List.filter_map
+       (fun (d : Desc.t) ->
+         if d.Desc.len = 0 then None
+         else Hashtbl.find_opt t.by_paddr d.Desc.addr)
+       chain);
+  replenish_free_queue t
+
+(* Process one complete PDU whose buffers (descriptor order) are in
+   [chain]. *)
+let process_pdu t chain =
+  Cpu.consume_prio t.cpu ~priority:t.cpu_priority t.costs.rx_per_pdu;
+  if List.exists (fun (d : Desc.t) -> d.Desc.len = 0) chain then begin
+    (* Abort marker: the board abandoned this PDU after posting part of
+       it; discard and recycle. *)
+    t.stats.aborted_chains <- t.stats.aborted_chains + 1;
+    recycle_chain t chain;
+    raise Exit
+  end;
+  let vci = (List.hd chain).Desc.vci in
+  let framed_len =
+    List.fold_left (fun a (d : Desc.t) -> a + d.Desc.len) 0 chain
+  in
+  Cpu.consume_prio t.cpu ~priority:t.cpu_priority
+    (framed_len * t.costs.rx_per_kb / 1024);
+  let vaddrs =
+    List.map
+      (fun (d : Desc.t) ->
+        match Hashtbl.find_opt t.by_paddr d.Desc.addr with
+        | Some v -> v
+        | None -> failwith "Driver: receive descriptor names unknown buffer")
+      chain
+  in
+  (* The AAL trailer CRC was checked by the adaptor as the cells flowed
+     through (hardware CRC); the driver only reads the length field. That
+     read goes through the cache like any CPU access. *)
+  let framed = Osiris_mem.Phys_mem.bytes_of_pbufs (Vspace.mem t.vs)
+      (List.map Desc.to_pbuf chain) in
+  match Sar.deframe_check framed with
+  | Error _ ->
+      t.stats.crc_drops <- t.stats.crc_drops + 1;
+      recycle t vaddrs;
+      replenish_free_queue t
+  | Ok payload_len ->
+      (* Read the trailer's length word through the cache (8 bytes). *)
+      let last : Desc.t = List.nth chain (List.length chain - 1) in
+      ignore
+        (Cpu.with_held t.cpu (fun () ->
+             Cache.read t.cache
+               ~addr:(last.Desc.addr + last.Desc.len - 8)
+               ~len:8));
+      (match t.invalidation with
+      | Eager ->
+          Cpu.with_held t.cpu (fun () ->
+              List.iter
+                (fun (d : Desc.t) ->
+                  Cache.invalidate t.cache ~addr:d.Desc.addr ~len:d.Desc.len)
+                chain)
+      | Eager_full ->
+          (* The DECstation's cache-swap instruction: essentially free to
+             issue, but everything the host had cached now misses. *)
+          Cache.invalidate_all t.cache
+      | Lazy -> ());
+      (* Zero-copy delivery: a message viewing the buffers, which recycles
+         them when the stack is done. *)
+      let segs =
+        let rec build vaddrs remaining =
+          match vaddrs with
+          | [] -> []
+          | v :: rest ->
+              if remaining <= 0 then []
+              else begin
+                let len = min remaining t.buf_size in
+                { Msg.vaddr = v; len } :: build rest (remaining - len)
+              end
+        in
+        build vaddrs payload_len
+      in
+      let msg = Msg.of_segs t.vs segs in
+      Msg.add_finalizer msg (fun () ->
+          recycle t vaddrs;
+          replenish_free_queue t);
+      t.stats.pdus_received <- t.stats.pdus_received + 1;
+      t.stats.bytes_received <- t.stats.bytes_received + payload_len;
+      if not (Demux.deliver t.demux ~vci msg) then begin
+        t.stats.undeliverable <- t.stats.undeliverable + 1;
+        Msg.dispose msg
+      end
+
+let process_pdu t chain = try process_pdu t chain with Exit -> ()
+
+let rx_thread t () =
+  let rx_q = Board.rx_queue t.channel in
+  let rec drain chain =
+    match Desc_queue.host_dequeue rx_q with
+    | None ->
+        (* A PDU should never be split across wakeups for long: partial
+           chains are kept and continued on the next buffer. *)
+        chain
+    | Some d ->
+        Cpu.consume_prio t.cpu ~priority:t.cpu_priority t.costs.rx_per_buffer;
+        claim t 1;
+        replenish_free_queue t;
+        let chain = d :: chain in
+        if d.Desc.eop then begin
+          process_pdu t (List.rev chain);
+          drain []
+        end
+        else if List.length chain > Desc_queue.size rx_q / 2 then begin
+          (* Defensive: a chain this long means end-of-PDU markers were
+             lost; reclaim the buffers instead of hoarding them. *)
+          t.stats.aborted_chains <- t.stats.aborted_chains + 1;
+          recycle_chain t chain;
+          drain []
+        end
+        else drain chain
+  in
+  let rec loop chain =
+    Signal.wait t.rx_sig;
+    t.stats.rx_wakeups <- t.stats.rx_wakeups + 1;
+    Cpu.consume_prio t.cpu ~priority:t.cpu_priority t.costs.sched_latency;
+    let chain = drain chain in
+    loop chain
+  in
+  loop []
+
+(* ------------------------------------------------------------------ *)
+(* Transmit path. *)
+
+let send t ~vci ?(from_user = false) msg =
+  if from_user then Cpu.consume t.cpu t.costs.syscall;
+  Cpu.consume t.cpu t.costs.tx_per_pdu;
+  (* One PDU's descriptor chain must reach the transmit queue contiguously
+     even when several threads send concurrently (the real driver masks
+     interrupts / takes a spl lock here). *)
+  Resource.acquire t.tx_lock;
+  Fun.protect ~finally:(fun () -> Resource.release t.tx_lock) @@ fun () ->
+  let segs = Msg.segs msg in
+  List.iter
+    (fun (s : Msg.seg) ->
+      Wiring.wire t.wiring t.vs ~vaddr:s.Msg.vaddr ~len:s.Msg.len)
+    segs;
+  let pbufs = Msg.pbufs msg in
+  let descs = Desc.chain_of_pbufs ~vci pbufs in
+  Osiris_sim.Trace.emitf Osiris_sim.Trace.Driver ~now:(Engine.now t.eng)
+    "enqueue vci=%d chain=[%s]" vci
+    (String.concat ";"
+       (List.map
+          (fun (d : Desc.t) ->
+            Printf.sprintf "%d%s" d.Desc.len
+              (if d.Desc.eop then "*" else ""))
+          descs));
+  let tx_q = Board.tx_queue t.channel in
+  List.iter
+    (fun d ->
+      Cpu.consume t.cpu t.costs.tx_per_buffer;
+      while not (Desc_queue.host_enqueue tx_q d) do
+        (* Full: suspend transmit activity and ask for the half-empty
+           interrupt (§2.1.2). *)
+        t.stats.tx_full_stalls <- t.stats.tx_full_stalls + 1;
+        Desc_queue.host_set_waiting tx_q;
+        if Desc_queue.is_full tx_q then Signal.wait t.tx_space
+      done)
+    descs;
+  t.stats.pdus_sent <- t.stats.pdus_sent + 1;
+  let upto = Desc_queue.total_enqueued tx_q in
+  let cleanup () =
+    List.iter
+      (fun (s : Msg.seg) ->
+        Wiring.unwire t.wiring t.vs ~vaddr:s.Msg.vaddr ~len:s.Msg.len)
+      segs;
+    Msg.dispose msg
+  in
+  Queue.add { upto; cleanup } t.pending;
+  Signal.broadcast t.pending_sig
+
+(* Transmit completion is detected by tail-pointer advance, as part of
+   other driver activity — modelled as a background watcher that reacts to
+   the queue's dequeue events. *)
+let tx_watcher t () =
+  let tx_q = Board.tx_queue t.channel in
+  let rec loop () =
+    (match Queue.peek_opt t.pending with
+    | None -> Signal.wait t.pending_sig
+    | Some p ->
+        if Desc_queue.total_dequeued tx_q >= p.upto then begin
+          ignore (Queue.pop t.pending);
+          p.cleanup ()
+        end
+        else Signal.wait (Desc_queue.dequeued tx_q));
+    loop ()
+  in
+  loop ()
+
+let start t =
+  (* Stocking the free queue performs PIO, so it needs process context. *)
+  Process.spawn t.eng ~name:"driver-init" (fun () -> replenish_free_queue t);
+  Process.spawn t.eng ~name:"driver-rx" (rx_thread t);
+  Process.spawn t.eng ~name:"driver-tx-watch" (tx_watcher t)

@@ -1,0 +1,31 @@
+module Atm_link = Osiris_link.Atm_link
+module Board = Osiris_board.Board
+module Rng = Osiris_util.Rng
+
+type t = {
+  a : Host.t;
+  b : Host.t;
+  a_to_b : Atm_link.t;
+  b_to_a : Atm_link.t;
+}
+
+let connect eng ?(link = Atm_link.default_config) ?(seed = 7) (a : Host.t) (b : Host.t) =
+  let rng = Rng.create ~seed in
+  let a_to_b = Atm_link.create eng (Rng.split rng) link in
+  let b_to_a = Atm_link.create eng (Rng.split rng) link in
+  Board.attach a.Host.board ~tx_link:a_to_b ~rx_link:b_to_a;
+  Board.attach b.Host.board ~tx_link:b_to_a ~rx_link:a_to_b;
+  Host.start a;
+  Host.start b;
+  { a; b; a_to_b; b_to_a }
+
+let pair ?(machine_a = Machine.ds5000_200) ?(machine_b = Machine.ds5000_200)
+    ?(config = Host.default_config) ?link () =
+  let eng = Osiris_sim.Engine.create () in
+  let a = Host.create eng machine_a ~addr:0x0a000001l config in
+  let b =
+    Host.create eng machine_b ~addr:0x0a000002l
+      { config with seed = config.seed + 1 }
+  in
+  let net = connect eng ?link a b in
+  (eng, net)

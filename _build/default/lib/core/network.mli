@@ -1,0 +1,30 @@
+(** Two hosts with their OSIRIS boards linked back-to-back, as in the
+    paper's §4 testbed ("a pair of workstations connected by a pair of
+    OSIRIS boards linked back-to-back"). *)
+
+type t = {
+  a : Host.t;
+  b : Host.t;
+  a_to_b : Osiris_link.Atm_link.t;
+  b_to_a : Osiris_link.Atm_link.t;
+}
+
+val connect :
+  Osiris_sim.Engine.t ->
+  ?link:Osiris_link.Atm_link.config ->
+  ?seed:int ->
+  Host.t ->
+  Host.t ->
+  t
+(** Create the two unidirectional striped links, attach the boards, and
+    start both hosts. *)
+
+val pair :
+  ?machine_a:Machine.t ->
+  ?machine_b:Machine.t ->
+  ?config:Host.config ->
+  ?link:Osiris_link.Atm_link.config ->
+  unit ->
+  Osiris_sim.Engine.t * t
+(** Convenience: a fresh engine and two identical hosts (DECstation
+    5000/200 by default) already connected and started. *)

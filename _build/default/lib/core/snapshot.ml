@@ -1,0 +1,86 @@
+open Osiris_sim
+module Board = Osiris_board.Board
+module Ip = Osiris_proto.Ip
+module Udp = Osiris_proto.Udp
+module Cache = Osiris_cache.Data_cache
+module Irq = Osiris_os.Irq
+module Cpu = Osiris_os.Cpu
+module Tc = Osiris_bus.Turbochannel
+
+type t = {
+  name : string;
+  now : Time.t;
+  board : Board.stats;
+  driver : Driver.stats;
+  ip : Ip.stats;
+  udp : Udp.stats;
+  cache : Cache.stats;
+  interrupts : int;
+  interrupt_asserts : int;
+  bus_busy : Time.t;
+  cpu_busy : Time.t;
+}
+
+let take ?(name = "host") (host : Host.t) =
+  {
+    name;
+    now = Engine.now host.Host.eng;
+    board = Board.stats host.Host.board;
+    driver = Driver.stats host.Host.driver;
+    ip = Ip.stats host.Host.ip;
+    udp = Udp.stats host.Host.udp;
+    cache = Cache.stats host.Host.cache;
+    interrupts = Irq.count host.Host.irq;
+    interrupt_asserts = Irq.asserted host.Host.irq;
+    bus_busy = (Tc.busy_stats host.Host.bus).Resource.busy_time;
+    cpu_busy = (Cpu.busy_stats host.Host.cpu).Resource.busy_time;
+  }
+
+let pct part whole =
+  if whole <= 0 then 0.0 else 100.0 *. float_of_int part /. float_of_int whole
+
+let pp fmt t =
+  let b = t.board and d = t.driver and i = t.ip and u = t.udp in
+  Format.fprintf fmt "@[<v>%s at %a:@," t.name Time.pp t.now;
+  Format.fprintf fmt
+    "  adaptor: %d PDUs out (%d cells, %d DMA reads), %d PDUs in (%d cells, \
+     %d DMA writes, %d combined)@,"
+    b.Board.pdus_sent b.Board.cells_sent b.Board.dma_tx_transactions
+    b.Board.pdus_received b.Board.cells_received b.Board.dma_rx_transactions
+    b.Board.combined_dmas;
+  if
+    b.Board.pdus_dropped_no_buffer + b.Board.cells_dropped
+    + b.Board.reassembly_errors + b.Board.protection_faults > 0
+  then
+    Format.fprintf fmt
+      "  adaptor drops: %d PDUs (no buffer), %d cells, %d reassembly \
+       errors, %d protection faults@,"
+      b.Board.pdus_dropped_no_buffer b.Board.cells_dropped
+      b.Board.reassembly_errors b.Board.protection_faults;
+  Format.fprintf fmt
+    "  driver: %d sent / %d received PDUs, %d tx stalls, %d wakeups, %d \
+     CRC drops, %d aborted chains@,"
+    d.Driver.pdus_sent d.Driver.pdus_received d.Driver.tx_full_stalls
+    d.Driver.rx_wakeups d.Driver.crc_drops d.Driver.aborted_chains;
+  Format.fprintf fmt
+    "  ip: %d/%d datagrams out/in, %d fragments out, %d header errors, %d \
+     reassembly evictions@,"
+    i.Ip.datagrams_sent i.Ip.datagrams_delivered i.Ip.fragments_sent
+    i.Ip.header_checksum_errors i.Ip.reassembly_drops;
+  Format.fprintf fmt
+    "  udp: %d sent, %d delivered, %d checksum drops, %d stale recoveries@,"
+    u.Udp.sent u.Udp.delivered u.Udp.checksum_errors u.Udp.stale_recoveries;
+  Format.fprintf fmt
+    "  cache: %d hits / %d misses (%.1f%%), %d stale overlaps, %d stale \
+     reads@,"
+    t.cache.Cache.hits t.cache.Cache.misses
+    (pct t.cache.Cache.hits (t.cache.Cache.hits + t.cache.Cache.misses))
+    t.cache.Cache.stale_overlaps t.cache.Cache.stale_reads;
+  Format.fprintf fmt
+    "  interrupts: %d taken (%d asserts coalesced); bus busy %.1f%%, cpu \
+     busy %.1f%%@]"
+    t.interrupts
+    (t.interrupt_asserts - t.interrupts)
+    (pct t.bus_busy t.now) (pct t.cpu_busy t.now)
+
+let print t = Format.printf "%a@." pp t

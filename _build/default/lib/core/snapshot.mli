@@ -1,0 +1,28 @@
+(** One-stop observability: a consistent snapshot of every counter a host
+    exposes — adaptor, driver, protocols, cache, bus, interrupts — with a
+    compact printer. Examples and debugging sessions use this instead of
+    fishing statistics out of six subsystems. *)
+
+type t = {
+  name : string;
+  now : Osiris_sim.Time.t;
+  board : Osiris_board.Board.stats;
+  driver : Driver.stats;
+  ip : Osiris_proto.Ip.stats;
+  udp : Osiris_proto.Udp.stats;
+  cache : Osiris_cache.Data_cache.stats;
+  interrupts : int;
+  interrupt_asserts : int;
+  bus_busy : Osiris_sim.Time.t;
+  cpu_busy : Osiris_sim.Time.t;
+}
+
+val take : ?name:string -> Host.t -> t
+(** Capture the host's counters now. The record aliases the live mutable
+    stats records; treat it as a point-in-time view for printing. *)
+
+val pp : Format.formatter -> t -> unit
+(** Multi-line, human-oriented rendering. *)
+
+val print : t -> unit
+(** [pp] to stdout. *)

@@ -1,0 +1,1 @@
+lib/ether/ether.ml: Bytes Engine List Mailbox Osiris_bus Osiris_os Osiris_sim Process Time

@@ -1,0 +1,1 @@
+lib/ether/ether.mli: Bytes Osiris_bus Osiris_os Osiris_sim

@@ -1,0 +1,1 @@
+lib/experiments/ablation_dma_pio.ml: Bytes Engine List Osiris_bus Osiris_cache Osiris_core Osiris_mem Osiris_sim Printf Process Report

@@ -1,0 +1,1 @@
+lib/experiments/ablation_dma_pio.mli: Report

@@ -1,0 +1,1 @@
+lib/experiments/ablation_ethernet.ml: Bytes Engine List Mailbox Osiris_board Osiris_bus Osiris_core Osiris_ether Osiris_os Osiris_sim Osiris_util Printf Process Receive_side Report Table1 Time

@@ -1,0 +1,1 @@
+lib/experiments/ablation_ethernet.mli: Osiris_core Report

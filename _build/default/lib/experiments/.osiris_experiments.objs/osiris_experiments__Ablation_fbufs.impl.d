@@ -1,0 +1,1 @@
+lib/experiments/ablation_fbufs.ml: Engine List Option Osiris_core Osiris_fbufs Osiris_mem Osiris_os Osiris_sim Osiris_util Printf Process Report Time

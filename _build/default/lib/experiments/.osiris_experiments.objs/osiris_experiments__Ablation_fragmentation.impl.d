@@ -1,0 +1,1 @@
+lib/experiments/ablation_fragmentation.ml: Bytes Engine List Osiris_atm Osiris_core Osiris_mem Osiris_proto Osiris_sim Osiris_util Osiris_xkernel Printf Report

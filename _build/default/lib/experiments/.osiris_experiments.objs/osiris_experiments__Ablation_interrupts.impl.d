@@ -1,0 +1,1 @@
+lib/experiments/ablation_interrupts.ml: Engine List Osiris_board Osiris_core Osiris_os Osiris_sim Osiris_xkernel Printf Process Report Time

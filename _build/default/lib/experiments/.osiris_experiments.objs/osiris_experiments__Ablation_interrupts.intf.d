@@ -1,0 +1,1 @@
+lib/experiments/ablation_interrupts.mli: Osiris_core Report

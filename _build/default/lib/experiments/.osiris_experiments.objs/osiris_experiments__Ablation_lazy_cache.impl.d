@@ -1,0 +1,1 @@
+lib/experiments/ablation_lazy_cache.ml: Bytes Char Engine List Osiris_board Osiris_cache Osiris_core Osiris_proto Osiris_sim Osiris_xkernel Printf Report Time

@@ -1,0 +1,1 @@
+lib/experiments/ablation_lazy_cache.mli: Osiris_core Report

@@ -1,0 +1,1 @@
+lib/experiments/ablation_lockfree.ml: Bytes Char Engine List Osiris_board Osiris_core Osiris_proto Osiris_sim Printf Receive_side Report Table1 Time

@@ -1,0 +1,1 @@
+lib/experiments/ablation_multiplexing.ml: Engine Mailbox Osiris_adc Osiris_board Osiris_core Osiris_sim Osiris_util Osiris_xkernel Printf Process Report Time

@@ -1,0 +1,1 @@
+lib/experiments/ablation_multiplexing.mli: Osiris_board Report

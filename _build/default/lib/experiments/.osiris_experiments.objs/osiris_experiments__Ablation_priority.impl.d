@@ -1,0 +1,1 @@
+lib/experiments/ablation_priority.ml: Bytes Char Engine Osiris_adc Osiris_atm Osiris_board Osiris_core Osiris_os Osiris_sim Osiris_xkernel Printf Report Time

@@ -1,0 +1,1 @@
+lib/experiments/ablation_priority.mli: Report

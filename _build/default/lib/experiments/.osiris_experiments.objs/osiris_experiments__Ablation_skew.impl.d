@@ -1,0 +1,1 @@
+lib/experiments/ablation_skew.ml: Engine Format List Osiris_atm Osiris_board Osiris_core Osiris_link Osiris_sim Osiris_xkernel Printf Process Report Time

@@ -1,0 +1,1 @@
+lib/experiments/ablation_skew.mli: Osiris_atm Report

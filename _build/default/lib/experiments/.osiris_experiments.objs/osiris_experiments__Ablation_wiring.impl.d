@@ -1,0 +1,1 @@
+lib/experiments/ablation_wiring.ml: Engine List Mailbox Osiris_board Osiris_core Osiris_os Osiris_sim Osiris_util Osiris_xkernel Printf Process Report Time

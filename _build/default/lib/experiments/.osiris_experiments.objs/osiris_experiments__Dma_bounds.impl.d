@@ -1,0 +1,1 @@
+lib/experiments/dma_bounds.ml: Engine List Osiris_bus Osiris_sim Printf Process Report

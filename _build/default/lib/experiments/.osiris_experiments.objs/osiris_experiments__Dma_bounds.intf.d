@@ -1,0 +1,1 @@
+lib/experiments/dma_bounds.mli: Report

@@ -1,0 +1,1 @@
+lib/experiments/host_to_host.ml: Engine Float Osiris_board Osiris_core Osiris_proto Osiris_sim Osiris_xkernel Printf Process Receive_side Report Time

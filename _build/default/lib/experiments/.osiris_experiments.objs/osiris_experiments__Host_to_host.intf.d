@@ -1,0 +1,1 @@
+lib/experiments/host_to_host.mli: Osiris_board Osiris_core Report

@@ -1,0 +1,1 @@
+lib/experiments/receive_side.ml: Bytes Char Engine List Osiris_board Osiris_core Osiris_proto Osiris_sim Report Time

@@ -1,0 +1,1 @@
+lib/experiments/receive_side.mli: Osiris_board Osiris_core Report

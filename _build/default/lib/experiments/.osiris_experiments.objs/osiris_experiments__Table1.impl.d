@@ -1,0 +1,1 @@
+lib/experiments/table1.ml: Engine List Mailbox Osiris_board Osiris_core Osiris_proto Osiris_sim Osiris_util Osiris_xkernel Printf Process Report Time

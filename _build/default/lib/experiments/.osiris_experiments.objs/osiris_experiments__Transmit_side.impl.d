@@ -1,0 +1,1 @@
+lib/experiments/transmit_side.ml: Engine List Osiris_atm Osiris_board Osiris_core Osiris_link Osiris_proto Osiris_sim Osiris_util Osiris_xkernel Process Report Time

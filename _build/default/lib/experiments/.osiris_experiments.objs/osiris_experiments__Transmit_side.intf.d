@@ -1,0 +1,1 @@
+lib/experiments/transmit_side.mli: Osiris_board Osiris_core Report

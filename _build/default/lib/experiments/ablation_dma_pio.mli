@@ -1,0 +1,18 @@
+(** §2.7 ablation: DMA versus programmed I/O.
+
+    The right comparison, the paper argues, is how fast an {e application}
+    can access received data. Four access paths are modelled per machine:
+
+    - raw DMA into memory (data not touched) — the adaptor-side bound;
+    - DMA followed by CPU reads through the cache (cold on the DECstation,
+      already cache-resident on the Alpha, whose crossbar also lets the
+      reads proceed concurrently with DMA);
+    - PIO: the CPU reads adaptor memory word by word over the
+      TURBOchannel and writes it to the application buffer (data lands in
+      the cache);
+    - the subsequent cached re-read after PIO.
+
+    On these machines DMA wins because word reads across the TURBOchannel
+    are so expensive; the paper stresses the answer is machine-dependent. *)
+
+val table : unit -> Report.table

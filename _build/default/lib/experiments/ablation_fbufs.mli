@@ -1,0 +1,12 @@
+(** §3.1 ablation: cached vs uncached fbufs.
+
+    The fbuf mechanism moves network buffers across protection-domain
+    boundaries. A {e cached} fbuf — one from a pool already mapped into
+    every domain of its path, selected because the adaptor demultiplexed
+    the VCI early — transfers for the cost of a pointer hand-off; an
+    {e uncached} fbuf must be remapped page by page into each receiving
+    domain. The paper reports an order of magnitude difference. The
+    experiment transfers 16 KB buffers across 1-3 domain boundaries both
+    ways and also exercises the 16-path LRU cache. *)
+
+val table : unit -> Report.table

@@ -1,0 +1,130 @@
+open Osiris_sim
+module Host = Osiris_core.Host
+module Machine = Osiris_core.Machine
+module Driver = Osiris_core.Driver
+module Board = Osiris_board.Board
+module Cache = Osiris_cache.Data_cache
+module Ctx = Osiris_proto.Ctx
+module Ip = Osiris_proto.Ip
+module Udp = Osiris_proto.Udp
+module Msg = Osiris_xkernel.Msg
+
+type result = {
+  label : string;
+  goodput_mbps : float;
+  stale_overlaps : int;
+  stale_reads : int;
+  stale_recoveries : int;
+  checksum_failures : int;
+  delivered : int;
+}
+
+let msg_size = 8 * 1024
+
+let run ~invalidation () =
+  (* A small pool keeps recycled buffers hot in the 64 KB cache, which is
+     what makes stale data possible at all. *)
+  (* Five 16 KB buffers against a 64 KB cache: buffers alias partially, so
+     reuses leave a mix of stale and fresh lines — the case the end-to-end
+     checksum must catch. *)
+  let machine = { Machine.ds5000_200 with Machine.rx_pool_buffers = 3 } in
+  let eng = Engine.create () in
+  let cfg = { Host.default_config with udp_checksum = true; invalidation } in
+  let host = Host.create eng machine ~addr:0x0a000002l cfg in
+  (* Each datagram carries different bytes — otherwise stale cache lines
+     would be indistinguishable from fresh ones. *)
+  let fragments =
+    List.concat_map
+      (fun id ->
+        let payload =
+          Bytes.init msg_size (fun i -> Char.chr ((i + (id * 37)) land 0xff))
+        in
+        let datagram =
+          Udp.datagram_image ~src_port:9 ~dst_port:7 ~checksum:true payload
+        in
+        Ip.fragment_images ~id cfg.Host.ip
+          ~page_size:machine.Machine.page_size ~src:0x0a000001l
+          ~dst:0x0a000002l ~proto:Udp.protocol_number datagram)
+      (* coprime with the pool size, so each reuse of a buffer carries
+         different bytes *)
+      [ 1; 2; 3; 4; 5; 6; 7 ]
+  in
+  (* Offer below capacity: the point is staleness, not overload. *)
+  Board.start_fictitious_source host.Host.board
+    ~pdus:(List.map (fun f -> (Host.ip_vci host, f)) fragments)
+    ~rate_mbps:40.0 ();
+  Host.start host;
+  let bytes = ref 0 and delivered = ref 0 in
+  (* "Other data relating to protocol processing, application processing
+     and other activities unrelated to the reception of data" (§2.3): the
+     application touches a working set of its own between messages, which
+     evicts part — but not all — of each buffer's cached lines, leaving a
+     mix of stale and fresh data on reuse. *)
+  let scratch = Msg.alloc host.Host.vs ~len:(40 * 1024) () in
+  Udp.bind host.Host.udp ~port:7 (fun ~src:_ ~src_port:_ msg ->
+      (* The application reads every byte through the cache, making the
+         buffer's lines resident — the precondition for staleness when the
+         buffer is reused. *)
+      let data = Ctx.read_through_cache host.Host.ctx msg ~off:0
+          ~len:(Msg.length msg) in
+      ignore data;
+      ignore
+        (Ctx.read_through_cache host.Host.ctx scratch ~off:0
+           ~len:(40 * 1024));
+      bytes := !bytes + Msg.length msg;
+      incr delivered;
+      Msg.dispose msg);
+  Engine.run ~until:(Time.ms 80) eng;
+  let cstats = Cache.stats host.Host.cache in
+  let ustats = Udp.stats host.Host.udp in
+  let istats = Ip.stats host.Host.ip in
+  {
+    label =
+      (match invalidation with
+      | Driver.Lazy -> "lazy"
+      | Driver.Eager -> "eager (per buffer)"
+      | Driver.Eager_full -> "full cache swap");
+    goodput_mbps = Report.mbps ~bytes_count:!bytes ~ns:(Engine.now eng);
+    stale_overlaps = cstats.Cache.stale_overlaps;
+    stale_reads = cstats.Cache.stale_reads;
+    stale_recoveries =
+      ustats.Udp.stale_recoveries + istats.Ip.header_checksum_errors;
+    checksum_failures = ustats.Udp.checksum_errors;
+    delivered = !delivered;
+  }
+
+let table () =
+  let rows =
+    List.map
+      (fun invalidation ->
+        let r = run ~invalidation () in
+        [
+          r.label;
+          Printf.sprintf "%.0f" r.goodput_mbps;
+          string_of_int r.stale_overlaps;
+          string_of_int r.stale_reads;
+          string_of_int r.stale_recoveries;
+          string_of_int r.checksum_failures;
+          string_of_int r.delivered;
+        ])
+      [ Osiris_core.Driver.Lazy; Osiris_core.Driver.Eager;
+        Osiris_core.Driver.Eager_full ]
+  in
+  {
+    Report.t_title =
+      "2.3 ablation: lazy vs eager cache invalidation with a hot, small \
+       buffer pool (8KB datagrams, UDP-CS on)";
+    header =
+      [ "policy"; "Mbps"; "stale overlaps"; "stale reads"; "recoveries";
+        "lost"; "delivered" ];
+    rows;
+    t_paper_note =
+      "lazy invalidation lets stale cache data occur and catches every \
+       instance with the end-to-end checksum (invalidate + re-verify; zero \
+       corruption delivered). This scenario is deliberately adversarial — \
+       a hot pool plus a cache-hungry app — so recoveries are frequent and \
+       lazy pays for double verification; in the paper's workloads no \
+       stale data was ever observed, making lazy effectively free while \
+       eager pays a cycle per word on every buffer (figure 2's 340 vs 250 \
+       Mbps)";
+  }

@@ -1,0 +1,29 @@
+(** §2.3 ablation: lazy cache invalidation mechanics.
+
+    On the DECstation, DMA does not update the cache, so a CPU that has
+    cached an earlier tenant of a receive buffer can read stale bytes after
+    the buffer is reused. The lazy discipline skips the per-buffer
+    invalidation and relies on the end-to-end (UDP) checksum: on a
+    verification failure, invalidate the message's lines and re-verify;
+    success on the second try means the data was fine in memory and only
+    the cache was stale.
+
+    This experiment makes staleness {e actually happen}: a small buffer
+    pool (so buffers recycle while still cached) and an application that
+    reads every received byte through the cache. It counts real stale
+    reads, recoveries, and end-to-end integrity, and compares goodput
+    against eager invalidation. *)
+
+type result = {
+  label : string;
+  goodput_mbps : float;
+  stale_overlaps : int;  (** DMA writes that hit resident lines *)
+  stale_reads : int;  (** CPU reads that actually returned stale bytes *)
+  stale_recoveries : int;  (** checksum failures cured by invalidate+retry *)
+  checksum_failures : int;  (** datagrams lost as really corrupt *)
+  delivered : int;
+}
+
+val run : invalidation:Osiris_core.Driver.invalidation -> unit -> result
+
+val table : unit -> Report.table

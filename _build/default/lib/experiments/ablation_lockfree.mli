@@ -1,0 +1,11 @@
+(** §2.1.1 ablation: lock-free descriptor queues vs a spin lock.
+
+    The dual-port memory offers a test-and-set register per board half; the
+    obvious design serializes every queue access under that lock, costing
+    extra dual-port accesses and blocking whichever processor arrives
+    second. The lock-free single-reader/single-writer discipline avoids
+    both. This ablation runs the same workloads under both disciplines and
+    reports round-trip latency, receive-side throughput, and the dual-port
+    word traffic per PDU. *)
+
+val table : unit -> Report.table

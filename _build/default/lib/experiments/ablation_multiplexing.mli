@@ -1,0 +1,23 @@
+(** §2.5.1 ablation: transmit multiplexing granularity.
+
+    "We argued previously that fine-grained multiplexing is advantageous
+    for latency..." — the OSIRIS transmit processor can take one cell from
+    each queued PDU in turn, so a small latency-sensitive message is not
+    stuck behind a bulk transfer already in progress.
+
+    The experiment runs a latency ping-pong on one channel while a second
+    channel continuously transmits large PDUs, under both cell-interleaved
+    and PDU-at-a-time multiplexing, and also reports the bulk flow's
+    throughput (the cost of the finer granularity: more DMA transactions
+    per byte when interleaving forces shorter bursts — negligible here,
+    visible in the §2.5.1 numbers). *)
+
+type result = {
+  small_rtt_us : float;
+  bulk_mbps : float;
+}
+
+val run :
+  mux:Osiris_board.Board.tx_mux -> ?bulk_pdu:int -> unit -> result
+
+val table : unit -> Report.table

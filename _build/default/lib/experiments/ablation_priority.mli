@@ -1,0 +1,24 @@
+(** §3.1 ablation: prioritized traffic under receiver overload.
+
+    Early demultiplexing lets the adaptor charge each incoming PDU to its
+    connection's own buffer pool before the host spends anything on it.
+    Under overload, a low-priority channel's free buffers run out and the
+    {e board} drops its PDUs, while the high-priority channel — whose
+    buffers are replenished promptly because its receive thread keeps
+    running — keeps its throughput.
+
+    The experiment offers two flows (one per channel) at an aggregate rate
+    beyond host capacity, with the low-priority flow's consumer burning
+    extra CPU per message (an expensive application), and compares the
+    high-priority flow's goodput with and without the competing
+    overload. *)
+
+type result = {
+  high_mbps : float;
+  low_mbps : float;
+  board_drops : int;  (** PDUs the board dropped for lack of buffers *)
+}
+
+val run : ?overload:bool -> unit -> result
+
+val table : unit -> Report.table

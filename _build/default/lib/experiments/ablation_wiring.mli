@@ -1,0 +1,10 @@
+(** §2.4 ablation: page wiring cost.
+
+    Mach's standard wiring service protects more than DMA needs (the page
+    and every page-table page involved in its translation) and turned out
+    surprisingly expensive; the driver switched to low-level pmap
+    functionality. The ablation reports the closed-form cost per wire call
+    for each policy and the resulting raw-ATM round-trip latency, since
+    wiring is on the transmit critical path. *)
+
+val table : unit -> Report.table

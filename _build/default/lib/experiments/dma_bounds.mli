@@ -1,0 +1,11 @@
+(** §2.5.1's closed-form DMA throughput bounds.
+
+    The paper derives, from TURBOchannel transaction overheads (13 cycles
+    per read, 8 per write, one 32-bit word per cycle at 25 MHz), the
+    sustainable data rates for 44- and 88-byte DMA bursts:
+    367 / 463 / 503 / 587 Mb/s. This experiment recomputes them from the
+    bus model — they must match exactly — and also measures them
+    dynamically by running back-to-back transactions through the simulated
+    bus. *)
+
+val table : unit -> Report.table

@@ -1,0 +1,22 @@
+(** Registry of every reproduced paper result and ablation, keyed by the
+    identifiers the CLI and the bench harness use. *)
+
+type kind =
+  | Table of (unit -> Report.table)
+  | Figure of (unit -> Report.figure)
+
+type entry = { id : string; description : string; kind : kind }
+
+val all : entry list
+(** Every experiment, in paper order. *)
+
+val quick : entry list
+(** The subset cheap enough for a default bench run (everything except the
+    full-size figure sweeps). *)
+
+val find : string -> entry option
+
+val run : entry -> unit
+(** Execute and print. *)
+
+val ids : unit -> string list

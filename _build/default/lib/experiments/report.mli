@@ -1,0 +1,32 @@
+(** Result containers and plain-text rendering for the experiment suite.
+
+    Every paper table or figure is regenerated as one of these values; the
+    bench harness prints them in a stable format that EXPERIMENTS.md quotes
+    next to the paper's numbers. *)
+
+type series = { label : string; points : (int * float) list }
+(** One curve: (x, y) points, x typically a message size in bytes. *)
+
+type figure = {
+  title : string;
+  xlabel : string;
+  ylabel : string;
+  series : series list;
+  paper_note : string;  (** what the paper reports, for eyeball comparison *)
+}
+
+type table = {
+  t_title : string;
+  header : string list;
+  rows : string list list;
+  t_paper_note : string;
+}
+
+val print_figure : figure -> unit
+val print_table : table -> unit
+
+val mbps : bytes_count:int -> ns:int -> float
+(** Rate of [bytes_count] bytes over [ns] simulated nanoseconds, in Mb/s. *)
+
+val sizes_1k_to_256k : int list
+(** The x-axis of figures 2-4: 1,2,4,...,256 KB. *)

@@ -1,0 +1,1 @@
+lib/fbufs/fbufs.ml: Engine Hashtbl List Osiris_mem Osiris_os Osiris_sim Queue Time

@@ -1,0 +1,1 @@
+lib/fbufs/fbufs.mli: Osiris_mem Osiris_os Osiris_sim

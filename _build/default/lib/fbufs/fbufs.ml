@@ -1,0 +1,147 @@
+open Osiris_sim
+module Cpu = Osiris_os.Cpu
+module Vspace = Osiris_mem.Vspace
+
+type costs = {
+  cached_transfer : Time.t;
+  remap_per_page : Time.t;
+  unmap_per_page : Time.t;
+  alloc_cost : Time.t;
+}
+
+let default_costs =
+  {
+    cached_transfer = Time.us 20;
+    remap_per_page = Time.us 60;
+    unmap_per_page = Time.us 30;
+    alloc_cost = Time.us 100;
+  }
+
+type fbuf = { vaddr : int; len : int; path : int option }
+
+type pool = { path : int; bufs : int Queue.t; mutable last_use : int }
+
+type stats = {
+  mutable cached_gets : int;
+  mutable uncached_gets : int;
+  mutable evictions : int;
+  mutable transfers : int;
+}
+
+type t = {
+  cpu : Cpu.t;
+  vs : Vspace.t;
+  costs : costs;
+  max_cached_paths : int;
+  bufs_per_path : int;
+  buf_size : int;
+  pools : (int, pool) Hashtbl.t;
+  mutable clock : int; (* LRU tick *)
+  stats : stats;
+}
+
+let create cpu vs costs ~max_cached_paths ~bufs_per_path ~buf_size =
+  if max_cached_paths < 1 || bufs_per_path < 1 || buf_size < 1 then
+    invalid_arg "Fbufs.create";
+  {
+    cpu;
+    vs;
+    costs;
+    max_cached_paths;
+    bufs_per_path;
+    buf_size;
+    pools = Hashtbl.create 16;
+    clock = 0;
+    stats =
+      { cached_gets = 0; uncached_gets = 0; evictions = 0; transfers = 0 };
+  }
+
+let vaddr (f : fbuf) = f.vaddr
+let size (f : fbuf) = f.len
+let is_cached (f : fbuf) = f.path <> None
+
+let tick t =
+  t.clock <- t.clock + 1;
+  t.clock
+
+let evict_lru t =
+  let victim =
+    Hashtbl.fold
+      (fun _ p acc ->
+        match acc with
+        | None -> Some p
+        | Some q -> if p.last_use < q.last_use then Some p else Some q)
+      t.pools None
+  in
+  match victim with
+  | None -> ()
+  | Some p ->
+      Queue.iter (fun v -> Vspace.free t.vs v) p.bufs;
+      Hashtbl.remove t.pools p.path;
+      t.stats.evictions <- t.stats.evictions + 1
+
+(* Build (or refresh) the cached pool for a path. Creating a pool is the
+   moment its pages get mapped into every domain of the path; that cost is
+   paid once and amortized, so we charge it as one batch of remaps. *)
+let ensure_pool t ~path =
+  match Hashtbl.find_opt t.pools path with
+  | Some p ->
+      p.last_use <- tick t;
+      Some p
+  | None ->
+      if Hashtbl.length t.pools >= t.max_cached_paths then evict_lru t;
+      let bufs = Queue.create () in
+      for _ = 1 to t.bufs_per_path do
+        Queue.add (Vspace.alloc t.vs ~len:t.buf_size) bufs
+      done;
+      let pages_per_buf =
+        (t.buf_size + Vspace.page_size t.vs - 1) / Vspace.page_size t.vs
+      in
+      Cpu.consume t.cpu
+        (t.bufs_per_path * pages_per_buf * t.costs.remap_per_page);
+      let p = { path; bufs; last_use = tick t } in
+      Hashtbl.replace t.pools path p;
+      Some p
+
+let get t ~path =
+  match ensure_pool t ~path with
+  | Some p when not (Queue.is_empty p.bufs) ->
+      t.stats.cached_gets <- t.stats.cached_gets + 1;
+      { vaddr = Queue.take p.bufs; len = t.buf_size; path = Some path }
+  | _ ->
+      (* Pool exhausted (or uncreatable): fall back to an uncached fbuf. *)
+      t.stats.uncached_gets <- t.stats.uncached_gets + 1;
+      Cpu.consume t.cpu t.costs.alloc_cost;
+      { vaddr = Vspace.alloc t.vs ~len:t.buf_size; len = t.buf_size;
+        path = None }
+
+let transfer t (f : fbuf) ~domains =
+  t.stats.transfers <- t.stats.transfers + 1;
+  let eng = Cpu.engine t.cpu in
+  let started = Engine.now eng in
+  let pages = (f.len + Vspace.page_size t.vs - 1) / Vspace.page_size t.vs in
+  (match f.path with
+  | Some _ -> Cpu.consume t.cpu (domains * t.costs.cached_transfer)
+  | None ->
+      Cpu.consume t.cpu (domains * pages * t.costs.remap_per_page));
+  Engine.now eng - started
+
+let release t (f : fbuf) =
+  match f.path with
+  | Some path -> (
+      match Hashtbl.find_opt t.pools path with
+      | Some p -> Queue.add f.vaddr p.bufs
+      | None -> Vspace.free t.vs f.vaddr (* pool was evicted meanwhile *))
+  | None ->
+      let pages =
+        (f.len + Vspace.page_size t.vs - 1) / Vspace.page_size t.vs
+      in
+      Cpu.consume t.cpu (pages * t.costs.unmap_per_page);
+      Vspace.free t.vs f.vaddr
+
+let stats t = t.stats
+
+let cached_paths t =
+  Hashtbl.fold (fun path p acc -> (path, p.last_use) :: acc) t.pools []
+  |> List.sort (fun (_, a) (_, b) -> compare b a)
+  |> List.map fst

@@ -1,0 +1,1 @@
+lib/link/atm_link.ml: Array Engine Mailbox Osiris_atm Osiris_sim Osiris_util Process Time

@@ -1,0 +1,1 @@
+lib/link/atm_link.mli: Osiris_atm Osiris_sim Osiris_util

@@ -1,0 +1,145 @@
+open Osiris_sim
+module Cell = Osiris_atm.Cell
+module Rng = Osiris_util.Rng
+
+type config = {
+  nlinks : int;
+  link_rate_bps : int;
+  propagation_delay : Time.t;
+  skew : Time.t array;
+  jitter_mean : Time.t;
+  corrupt_prob : float;
+  drop_prob : float;
+  tx_fifo_cells : int;
+  rx_fifo_cells : int;
+}
+
+let default_config =
+  {
+    nlinks = 4;
+    link_rate_bps = 155_520_000;
+    propagation_delay = Time.us 1;
+    skew = [| 0; 0; 0; 0 |];
+    jitter_mean = 0;
+    corrupt_prob = 0.0;
+    drop_prob = 0.0;
+    tx_fifo_cells = 2;
+    rx_fifo_cells = 32;
+  }
+
+let oc12_aggregate cfg =
+  float_of_int (cfg.nlinks * cfg.link_rate_bps)
+  /. 1e6
+  *. float_of_int Cell.data_size
+  /. float_of_int Cell.wire_size
+
+type stats = {
+  mutable sent : int;
+  mutable delivered : int;
+  mutable dropped_fifo : int;
+  mutable dropped_net : int;
+  mutable corrupted : int;
+  mutable reordered : int;
+}
+
+type t = {
+  eng : Engine.t;
+  rng : Rng.t;
+  cfg : config;
+  cell_time : Time.t;
+  mutable send_seq : int;
+  mutable max_delivered_seq : int;
+  busy_until : Time.t array; (* per-channel serializer booking *)
+  last_delivery : Time.t array; (* per-channel FIFO enforcement *)
+  inbox : (int * Cell.t) Mailbox.t;
+  stats : stats;
+}
+
+let create eng rng cfg =
+  if cfg.nlinks < 1 then invalid_arg "Atm_link.create: nlinks must be >= 1";
+  if Array.length cfg.skew <> cfg.nlinks then
+    invalid_arg "Atm_link.create: skew array must have nlinks entries";
+  if cfg.tx_fifo_cells < 1 || cfg.rx_fifo_cells < 1 then
+    invalid_arg "Atm_link.create: FIFOs need at least one slot";
+  let cell_time =
+    Cell.wire_size * 8 * 1_000_000_000 / cfg.link_rate_bps
+  in
+  {
+    eng;
+    rng;
+    cfg;
+    cell_time;
+    send_seq = 0;
+    max_delivered_seq = -1;
+    busy_until = Array.make cfg.nlinks 0;
+    last_delivery = Array.make cfg.nlinks 0;
+    inbox = Mailbox.create eng ~capacity:cfg.rx_fifo_cells ();
+    stats =
+      {
+        sent = 0;
+        delivered = 0;
+        dropped_fifo = 0;
+        dropped_net = 0;
+        corrupted = 0;
+        reordered = 0;
+      };
+  }
+
+let config t = t.cfg
+
+let deliver t link seq cell =
+  if seq > t.max_delivered_seq then t.max_delivered_seq <- seq
+  else t.stats.reordered <- t.stats.reordered + 1;
+  if Mailbox.try_send t.inbox (link, cell) then
+    t.stats.delivered <- t.stats.delivered + 1
+  else t.stats.dropped_fifo <- t.stats.dropped_fifo + 1
+
+let send t cell =
+  (* Cell k of a PDU travels on link k mod n (paper 2.6): the link choice
+     is a deterministic function of the cell's AAL sequence number, so the
+     receiver's per-link reassembly can reconstruct each cell's position
+     from (link, per-link arrival index) alone, even when PDUs of several
+     VCs are interleaved on the striped trunk. *)
+  let l = cell.Cell.seq mod t.cfg.nlinks in
+  let seq = t.send_seq in
+  t.send_seq <- seq + 1;
+  t.stats.sent <- t.stats.sent + 1;
+  (* Backpressure: the channel's output FIFO lets us book at most
+     [tx_fifo_cells] cell-times ahead of the present. *)
+  let horizon () = Engine.now t.eng + (t.cfg.tx_fifo_cells * t.cell_time) in
+  if t.busy_until.(l) > horizon () then
+    Process.sleep t.eng (t.busy_until.(l) - horizon ());
+  let now = Engine.now t.eng in
+  let start = max now t.busy_until.(l) in
+  let finish = start + t.cell_time in
+  t.busy_until.(l) <- finish;
+  if Rng.float t.rng 1.0 < t.cfg.drop_prob then
+    t.stats.dropped_net <- t.stats.dropped_net + 1
+  else begin
+    let cell =
+      if Rng.float t.rng 1.0 < t.cfg.corrupt_prob then begin
+        t.stats.corrupted <- t.stats.corrupted + 1;
+        Cell.corrupt cell ~byte:(Rng.int t.rng Cell.data_size)
+      end
+      else cell
+    in
+    let jitter =
+      if t.cfg.jitter_mean = 0 then 0
+      else
+        Time.of_float_us
+          (Rng.exponential t.rng
+             ~mean:(Time.to_float_us t.cfg.jitter_mean))
+    in
+    let arrival = finish + t.cfg.propagation_delay + t.cfg.skew.(l) + jitter in
+    (* Cells on one channel arrive in order and no faster than the wire. *)
+    let arrival = max arrival (t.last_delivery.(l) + t.cell_time) in
+    t.last_delivery.(l) <- arrival;
+    ignore
+      (Engine.schedule_at t.eng ~time:arrival (fun () ->
+           deliver t l seq cell))
+  end
+
+let recv t = Mailbox.recv t.inbox
+let try_recv t = Mailbox.try_recv t.inbox
+let pending t = Mailbox.length t.inbox
+let stats t = t.stats

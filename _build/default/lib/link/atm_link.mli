@@ -1,0 +1,70 @@
+(** The striped physical link (paper §2.6).
+
+    OSIRIS reaches 622 Mb/s by striping cells round-robin over four 155.52
+    Mb/s channels. Each channel delivers its own cells in FIFO order, but
+    the channels are mutually skewed by fixed path/multiplexing differences
+    and by per-cell queueing jitter — the paper's "skew" class of
+    misordering: cell [k] goes to link [k mod n]; relative order is
+    preserved within a link and arbitrary (within the configured bound)
+    across links.
+
+    A link object is unidirectional. Sending blocks the calling process for
+    serialization backpressure (each channel transmits one 53-byte cell at a
+    time, with a small on-board output FIFO of bookable slots); delivery
+    pushes cells into the receiving adaptor's input FIFO, dropping (and
+    counting) cells when that FIFO overflows. *)
+
+type config = {
+  nlinks : int;  (** stripe width; 1 disables striping *)
+  link_rate_bps : int;  (** line rate of each channel (155.52 Mb/s) *)
+  propagation_delay : Osiris_sim.Time.t;
+  skew : Osiris_sim.Time.t array;
+      (** fixed extra delay per channel (length [nlinks]); models path-length
+          and multiplexing-equipment differences *)
+  jitter_mean : Osiris_sim.Time.t;
+      (** mean of exponential per-cell queueing jitter (switch ports); 0
+          disables *)
+  corrupt_prob : float;  (** per-cell probability of a flipped data byte *)
+  drop_prob : float;  (** per-cell probability of loss in the network *)
+  tx_fifo_cells : int;  (** bookable output slots per channel *)
+  rx_fifo_cells : int;  (** receiving adaptor's input FIFO capacity *)
+}
+
+val default_config : config
+(** 4 × 155.52 Mb/s, 10 µs propagation, no skew, no jitter, no errors,
+    2-cell output FIFOs, 32-cell input FIFO. *)
+
+val oc12_aggregate : config -> float
+(** Aggregate user-data bandwidth in Mb/s: nlinks × rate × 44/53 — the
+    paper's "516 Mb/s data bandwidth in a 622 Mb/s link". *)
+
+type t
+
+val create : Osiris_sim.Engine.t -> Osiris_util.Rng.t -> config -> t
+
+val config : t -> config
+
+val send : t -> Osiris_atm.Cell.t -> unit
+(** Transmit the next cell (striped round-robin). Blocks the calling process
+    when the target channel's output FIFO is fully booked. *)
+
+val recv : t -> int * Osiris_atm.Cell.t
+(** Next arrived cell with the channel it arrived on, in arrival order.
+    Blocks when none is pending. *)
+
+val try_recv : t -> (int * Osiris_atm.Cell.t) option
+
+val pending : t -> int
+(** Cells currently waiting in the receive FIFO. *)
+
+type stats = {
+  mutable sent : int;
+  mutable delivered : int;
+  mutable dropped_fifo : int;  (** lost to receive-FIFO overflow *)
+  mutable dropped_net : int;  (** lost in the network (drop_prob) *)
+  mutable corrupted : int;
+  mutable reordered : int;
+      (** deliveries that overtook a cell sent earlier on another channel *)
+}
+
+val stats : t -> stats

@@ -1,0 +1,1 @@
+lib/mem/pbuf.ml: Format List

@@ -1,0 +1,1 @@
+lib/mem/sg_map.mli: Pbuf

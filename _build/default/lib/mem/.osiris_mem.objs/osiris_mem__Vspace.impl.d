@@ -1,0 +1,1 @@
+lib/mem/vspace.ml: Hashtbl List Pbuf Phys_mem

@@ -1,0 +1,1 @@
+lib/mem/vspace.mli: Pbuf Phys_mem

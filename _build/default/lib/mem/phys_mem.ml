@@ -1,0 +1,113 @@
+type t = {
+  data : Bytes.t;
+  page_size : int;
+  nframes : int;
+  mutable free : int list; (* frame indices *)
+  free_set : (int, unit) Hashtbl.t;
+}
+
+let create ?scramble ~size ~page_size () =
+  if size <= 0 || page_size <= 0 || size mod page_size <> 0 then
+    invalid_arg "Phys_mem.create: size must be a positive multiple of page_size";
+  let nframes = size / page_size in
+  let order = Array.init nframes (fun i -> i) in
+  (match scramble with Some rng -> Osiris_util.Rng.shuffle rng order | None -> ());
+  let free = Array.to_list order in
+  let free_set = Hashtbl.create nframes in
+  List.iter (fun f -> Hashtbl.replace free_set f ()) free;
+  { data = Bytes.make size '\000'; page_size; nframes; free; free_set }
+
+let size t = Bytes.length t.data
+let page_size t = t.page_size
+let frames t = t.nframes
+let free_frames t = Hashtbl.length t.free_set
+
+let alloc_frame t =
+  match t.free with
+  | [] -> raise Out_of_memory
+  | f :: rest ->
+      t.free <- rest;
+      Hashtbl.remove t.free_set f;
+      f * t.page_size
+
+let alloc_contiguous t ~nframes =
+  if nframes <= 0 then invalid_arg "Phys_mem.alloc_contiguous";
+  let is_free f = Hashtbl.mem t.free_set f in
+  let rec find base =
+    if base + nframes > t.nframes then None
+    else begin
+      let rec run i = i = nframes || (is_free (base + i) && run (i + 1)) in
+      if run 0 then Some base else find (base + 1)
+    end
+  in
+  match find 0 with
+  | None -> None
+  | Some base ->
+      for i = base to base + nframes - 1 do
+        Hashtbl.remove t.free_set i
+      done;
+      t.free <- List.filter (fun f -> f < base || f >= base + nframes) t.free;
+      Some (base * t.page_size)
+
+let free_frame t addr =
+  if addr mod t.page_size <> 0 then
+    invalid_arg "Phys_mem.free_frame: unaligned address";
+  let f = addr / t.page_size in
+  if f < 0 || f >= t.nframes then invalid_arg "Phys_mem.free_frame: bad frame";
+  if Hashtbl.mem t.free_set f then
+    invalid_arg "Phys_mem.free_frame: double free";
+  Hashtbl.replace t.free_set f ();
+  t.free <- f :: t.free
+
+let check t addr len =
+  if addr < 0 || len < 0 || addr + len > Bytes.length t.data then
+    invalid_arg
+      (Printf.sprintf "Phys_mem: access [%#x,+%d) out of bounds" addr len)
+
+let read_byte t addr =
+  check t addr 1;
+  Char.code (Bytes.get t.data addr)
+
+let write_byte t addr v =
+  check t addr 1;
+  Bytes.set t.data addr (Char.chr (v land 0xff))
+
+let read_u32 t addr =
+  check t addr 4;
+  Bytes.get_int32_be t.data addr
+
+let write_u32 t addr v =
+  check t addr 4;
+  Bytes.set_int32_be t.data addr v
+
+let blit_from_bytes t ~src ~src_off ~dst ~len =
+  check t dst len;
+  Bytes.blit src src_off t.data dst len
+
+let blit_to_bytes t ~src ~dst ~dst_off ~len =
+  check t src len;
+  Bytes.blit t.data src dst dst_off len
+
+let blit t ~src ~dst ~len =
+  check t src len;
+  check t dst len;
+  Bytes.blit t.data src t.data dst len
+
+let fill t ~addr ~len c =
+  check t addr len;
+  Bytes.fill t.data addr len c
+
+let bytes_of_region t ~addr ~len =
+  check t addr len;
+  Bytes.sub t.data addr len
+
+let bytes_of_pbufs t bufs =
+  let total = Pbuf.total_len bufs in
+  let out = Bytes.create total in
+  let off = ref 0 in
+  List.iter
+    (fun (b : Pbuf.t) ->
+      blit_to_bytes t ~src:b.Pbuf.addr ~dst:out ~dst_off:!off ~len:b.Pbuf.len;
+      off := !off + b.Pbuf.len)
+    bufs;
+  out

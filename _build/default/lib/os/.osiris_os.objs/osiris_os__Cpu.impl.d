@@ -1,0 +1,1 @@
+lib/os/cpu.ml: Engine Fun Osiris_sim Process Resource Time

@@ -1,0 +1,1 @@
+lib/os/cpu.mli: Osiris_sim

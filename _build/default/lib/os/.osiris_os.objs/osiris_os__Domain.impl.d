@@ -1,0 +1,1 @@
+lib/os/domain.ml: Format Osiris_mem

@@ -1,0 +1,1 @@
+lib/os/domain.mli: Format Osiris_mem

@@ -1,0 +1,1 @@
+lib/os/irq.ml: Cpu Engine Hashtbl Osiris_sim Process Time

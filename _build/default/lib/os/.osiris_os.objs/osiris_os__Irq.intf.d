@@ -1,0 +1,1 @@
+lib/os/irq.mli: Cpu Osiris_sim

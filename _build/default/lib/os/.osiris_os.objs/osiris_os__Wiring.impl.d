@@ -1,0 +1,1 @@
+lib/os/wiring.ml: Cpu Osiris_mem Osiris_sim Time

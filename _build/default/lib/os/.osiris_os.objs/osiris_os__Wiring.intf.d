@@ -1,0 +1,1 @@
+lib/os/wiring.mli: Cpu Osiris_mem Osiris_sim

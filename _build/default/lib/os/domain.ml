@@ -1,0 +1,18 @@
+type kind = Kernel | User
+
+type t = { id : int; name : string; kind : kind; vspace : Osiris_mem.Vspace.t }
+
+let counter = ref 0
+
+let create ~name ~kind vspace =
+  incr counter;
+  { id = !counter; name; kind; vspace }
+
+let name t = t.name
+let kind t = t.kind
+let vspace t = t.vspace
+let id t = t.id
+let equal a b = a.id = b.id
+let pp fmt t =
+  Format.fprintf fmt "%s(%s)" t.name
+    (match t.kind with Kernel -> "kernel" | User -> "user")

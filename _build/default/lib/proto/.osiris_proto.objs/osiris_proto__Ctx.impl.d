@@ -1,0 +1,1 @@
+lib/proto/ctx.ml: Bytes List Osiris_cache Osiris_mem Osiris_os Osiris_sim Osiris_util Osiris_xkernel Time

@@ -1,0 +1,1 @@
+lib/proto/ctx.mli: Bytes Osiris_cache Osiris_os Osiris_sim Osiris_xkernel

@@ -1,0 +1,1 @@
+lib/proto/ip.ml: Bytes Char Ctx Hashtbl List Osiris_os Osiris_sim Osiris_util Osiris_xkernel

@@ -1,0 +1,1 @@
+lib/proto/ip.mli: Bytes Ctx Osiris_xkernel

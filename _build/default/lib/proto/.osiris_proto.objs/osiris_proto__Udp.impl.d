@@ -1,0 +1,1 @@
+lib/proto/udp.ml: Bytes Ctx Hashtbl Ip Osiris_os Osiris_util Osiris_xkernel

@@ -1,0 +1,1 @@
+lib/proto/udp.mli: Bytes Ctx Ip Osiris_xkernel

@@ -1,0 +1,54 @@
+open Osiris_sim
+module Cpu = Osiris_os.Cpu
+module Cache = Osiris_cache.Data_cache
+module Msg = Osiris_xkernel.Msg
+module Pbuf = Osiris_mem.Pbuf
+module Checksum = Osiris_util.Checksum
+
+type costs = {
+  ip_output_per_fragment : Time.t;
+  ip_input_per_fragment : Time.t;
+  udp_output : Time.t;
+  udp_input : Time.t;
+  checksum_cycles_per_word : int;
+}
+
+let default_costs =
+  {
+    ip_output_per_fragment = Time.us 35;
+    ip_input_per_fragment = Time.us 30;
+    udp_output = Time.us 45;
+    udp_input = Time.us 40;
+    checksum_cycles_per_word = 3;
+  }
+
+type t = { cpu : Cpu.t; cache : Cache.t; costs : costs }
+
+let create ~cpu ~cache costs = { cpu; cache; costs }
+
+let range_pbufs msg ~off ~len = Msg.pbufs (Msg.sub msg ~off ~len)
+
+let read_through_cache t msg ~off ~len =
+  let out = Bytes.create len in
+  Cpu.with_held t.cpu (fun () ->
+      let pos = ref 0 in
+      List.iter
+        (fun (b : Pbuf.t) ->
+          Cache.read_into t.cache ~addr:b.Pbuf.addr ~len:b.Pbuf.len ~dst:out
+            ~dst_off:!pos;
+          pos := !pos + b.Pbuf.len)
+        (range_pbufs msg ~off ~len));
+  out
+
+let checksum_msg t msg ~off ~len =
+  let data = read_through_cache t msg ~off ~len in
+  let words = (len + 3) / 4 in
+  Cpu.consume_cycles t.cpu (words * t.costs.checksum_cycles_per_word);
+  Checksum.ones_complement_sum data ~off:0 ~len
+
+let invalidate_msg t msg ~off ~len =
+  Cpu.with_held t.cpu (fun () ->
+      List.iter
+        (fun (b : Pbuf.t) ->
+          Cache.invalidate t.cache ~addr:b.Pbuf.addr ~len:b.Pbuf.len)
+        (range_pbufs msg ~off ~len))

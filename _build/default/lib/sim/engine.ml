@@ -1,0 +1,65 @@
+type handle = { mutable cancelled : bool; fn : unit -> unit }
+
+type t = {
+  mutable clock : Time.t;
+  mutable seq : int;
+  mutable stopping : bool;
+  events : handle Heap.t;
+}
+
+exception Stopped
+
+let create () =
+  { clock = Time.zero; seq = 0; stopping = false; events = Heap.create () }
+
+let now t = t.clock
+
+let schedule_at t ~time fn =
+  if time < t.clock then
+    invalid_arg
+      (Printf.sprintf "Engine.schedule_at: time %d is in the past (now %d)"
+         time t.clock);
+  let h = { cancelled = false; fn } in
+  Heap.add t.events ~key:time ~seq:t.seq h;
+  t.seq <- t.seq + 1;
+  h
+
+let schedule t ~delay fn =
+  if delay < 0 then invalid_arg "Engine.schedule: negative delay";
+  schedule_at t ~time:(t.clock + delay) fn
+
+let cancel h = h.cancelled <- true
+
+let pending t = Heap.length t.events
+
+let step t =
+  match Heap.pop_min t.events with
+  | None -> false
+  | Some (time, _seq, h) ->
+      t.clock <- time;
+      if not h.cancelled then h.fn ();
+      true
+
+let stop t = t.stopping <- true
+
+let run ?until ?max_events t =
+  t.stopping <- false;
+  let executed = ref 0 in
+  let continue () =
+    (not t.stopping)
+    && (match max_events with None -> true | Some m -> !executed < m)
+    &&
+    match Heap.peek_key t.events with
+    | None -> false
+    | Some k -> ( match until with None -> true | Some u -> k <= u)
+  in
+  while continue () do
+    ignore (step t);
+    incr executed
+  done;
+  (* When stopping early because of [until], advance the clock to the
+     horizon so that repeated bounded runs observe monotonic time. *)
+  match until with
+  | Some u when Heap.peek_key t.events <> None && not t.stopping ->
+      if t.clock < u then t.clock <- u
+  | _ -> ()

@@ -1,0 +1,48 @@
+(** Discrete-event simulation engine.
+
+    An engine owns a virtual clock and an event queue. Callbacks are
+    scheduled at absolute or relative simulated times and executed in
+    timestamp order; callbacks scheduled for the same instant run in the
+    order they were scheduled. The engine is strictly single-threaded and,
+    given the same inputs, fully deterministic. *)
+
+type t
+
+type handle
+(** Identifies a scheduled event so it can be cancelled. *)
+
+val create : unit -> t
+(** A fresh engine with the clock at {!Time.zero}. *)
+
+val now : t -> Time.t
+(** Current simulated time. *)
+
+val schedule : t -> delay:Time.t -> (unit -> unit) -> handle
+(** [schedule t ~delay f] arranges for [f ()] to run at [now t + delay].
+    [delay] must be non-negative. *)
+
+val schedule_at : t -> time:Time.t -> (unit -> unit) -> handle
+(** [schedule_at t ~time f] arranges for [f ()] to run at absolute time
+    [time], which must not be in the past. *)
+
+val cancel : handle -> unit
+(** Cancel a pending event. Cancelling an event that has already fired is a
+    no-op. *)
+
+val pending : t -> int
+(** Number of events still queued (including cancelled ones not yet
+    drained). *)
+
+val step : t -> bool
+(** Execute the single next event. Returns [false] when the queue is
+    empty. *)
+
+val run : ?until:Time.t -> ?max_events:int -> t -> unit
+(** Run events in order until the queue drains, the clock passes [until], or
+    [max_events] callbacks have executed. Events scheduled exactly at
+    [until] still run. *)
+
+exception Stopped
+
+val stop : t -> unit
+(** Request that {!run} return after the current callback completes. *)

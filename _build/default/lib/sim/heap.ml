@@ -1,0 +1,66 @@
+type 'a entry = { key : int; seq : int; value : 'a }
+
+type 'a t = { mutable arr : 'a entry array; mutable len : int }
+
+let create () = { arr = [||]; len = 0 }
+
+let length h = h.len
+
+let is_empty h = h.len = 0
+
+let lt a b = a.key < b.key || (a.key = b.key && a.seq < b.seq)
+
+let grow h =
+  let cap = Array.length h.arr in
+  let ncap = if cap = 0 then 64 else cap * 2 in
+  (* The dummy cell is never read: slots >= len are dead. *)
+  let dummy = h.arr.(0) in
+  let narr = Array.make ncap dummy in
+  Array.blit h.arr 0 narr 0 h.len;
+  h.arr <- narr
+
+let add h ~key ~seq value =
+  let e = { key; seq; value } in
+  if h.len = Array.length h.arr then
+    if h.len = 0 then h.arr <- Array.make 64 e else grow h;
+  h.arr.(h.len) <- e;
+  h.len <- h.len + 1;
+  (* Sift up. *)
+  let rec up i =
+    if i > 0 then begin
+      let p = (i - 1) / 2 in
+      if lt h.arr.(i) h.arr.(p) then begin
+        let tmp = h.arr.(i) in
+        h.arr.(i) <- h.arr.(p);
+        h.arr.(p) <- tmp;
+        up p
+      end
+    end
+  in
+  up (h.len - 1)
+
+let pop_min h =
+  if h.len = 0 then None
+  else begin
+    let min = h.arr.(0) in
+    h.len <- h.len - 1;
+    if h.len > 0 then begin
+      h.arr.(0) <- h.arr.(h.len);
+      (* Sift down. *)
+      let rec down i =
+        let l = (2 * i) + 1 and r = (2 * i) + 2 in
+        let m = if l < h.len && lt h.arr.(l) h.arr.(i) then l else i in
+        let m = if r < h.len && lt h.arr.(r) h.arr.(m) then r else m in
+        if m <> i then begin
+          let tmp = h.arr.(i) in
+          h.arr.(i) <- h.arr.(m);
+          h.arr.(m) <- tmp;
+          down m
+        end
+      in
+      down 0
+    end;
+    Some (min.key, min.seq, min.value)
+  end
+
+let peek_key h = if h.len = 0 then None else Some h.arr.(0).key

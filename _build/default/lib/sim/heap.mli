@@ -1,0 +1,25 @@
+(** Binary min-heap used as the engine's event queue.
+
+    Entries are ordered by an integer key (the firing time) with a sequence
+    number breaking ties, so that events scheduled for the same instant fire
+    in scheduling order (deterministic FIFO semantics). *)
+
+type 'a t
+
+val create : unit -> 'a t
+(** A fresh empty heap. *)
+
+val length : 'a t -> int
+(** Number of entries currently in the heap. *)
+
+val is_empty : 'a t -> bool
+
+val add : 'a t -> key:int -> seq:int -> 'a -> unit
+(** [add h ~key ~seq v] inserts [v] with priority [(key, seq)]. *)
+
+val pop_min : 'a t -> (int * int * 'a) option
+(** Remove and return the entry with the smallest [(key, seq)], or [None] if
+    the heap is empty. *)
+
+val peek_key : 'a t -> int option
+(** Key of the minimum entry, without removing it. *)

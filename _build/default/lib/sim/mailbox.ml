@@ -1,0 +1,52 @@
+type 'a t = {
+  eng : Engine.t;
+  capacity : int;
+  items : 'a Queue.t;
+  senders : Process.resumer Queue.t;
+  receivers : Process.resumer Queue.t;
+}
+
+let create eng ?(capacity = max_int) () =
+  if capacity < 1 then invalid_arg "Mailbox.create: capacity < 1";
+  {
+    eng;
+    capacity;
+    items = Queue.create ();
+    senders = Queue.create ();
+    receivers = Queue.create ();
+  }
+
+let length t = Queue.length t.items
+let is_empty t = Queue.is_empty t.items
+let is_full t = Queue.length t.items >= t.capacity
+
+let wake q = match Queue.take_opt q with None -> () | Some r -> r ()
+
+let try_send t v =
+  if is_full t then false
+  else begin
+    Queue.add v t.items;
+    wake t.receivers;
+    true
+  end
+
+let rec send t v =
+  if try_send t v then ()
+  else begin
+    Process.suspend t.eng (fun resume -> Queue.add resume t.senders);
+    send t v
+  end
+
+let try_recv t =
+  match Queue.take_opt t.items with
+  | None -> None
+  | Some v ->
+      wake t.senders;
+      Some v
+
+let rec recv t =
+  match try_recv t with
+  | Some v -> v
+  | None ->
+      Process.suspend t.eng (fun resume -> Queue.add resume t.receivers);
+      recv t

@@ -1,0 +1,32 @@
+(** Bounded FIFO channels between simulation processes.
+
+    A mailbox with capacity [c] blocks senders once [c] items are queued and
+    blocks receivers while it is empty. With [c = max_int] it degenerates to
+    an unbounded queue. Blocked processes are served in FIFO order. *)
+
+type 'a t
+
+val create : Engine.t -> ?capacity:int -> unit -> 'a t
+(** [create eng ~capacity ()] makes an empty mailbox. [capacity] defaults to
+    [max_int] and must be at least 1. *)
+
+val send : 'a t -> 'a -> unit
+(** Enqueue a value, blocking the calling process while the mailbox is
+    full. *)
+
+val try_send : 'a t -> 'a -> bool
+(** Non-blocking enqueue; [false] if the mailbox is full. Usable from any
+    context. *)
+
+val recv : 'a t -> 'a
+(** Dequeue the oldest value, blocking the calling process while the mailbox
+    is empty. *)
+
+val try_recv : 'a t -> 'a option
+(** Non-blocking dequeue. Usable from any context. *)
+
+val length : 'a t -> int
+(** Number of queued values. *)
+
+val is_empty : 'a t -> bool
+val is_full : 'a t -> bool

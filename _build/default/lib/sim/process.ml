@@ -1,0 +1,47 @@
+open Effect
+open Effect.Deep
+
+exception Not_in_process
+exception Process_failure of string * exn
+
+type resumer = unit -> unit
+
+type _ Effect.t += Suspend : ((resumer -> unit) * Engine.t) -> unit Effect.t
+
+let spawn eng ?(name = "anon") f =
+  let body () =
+    match_with f ()
+      {
+        retc = (fun () -> ());
+        exnc = (fun exn -> raise (Process_failure (name, exn)));
+        effc =
+          (fun (type a) (eff : a Effect.t) ->
+            match eff with
+            | Suspend (register, eng') ->
+                Some
+                  (fun (k : (a, unit) continuation) ->
+                    let resumed = ref false in
+                    let resumer () =
+                      if !resumed then
+                        invalid_arg "Process: resumer invoked twice";
+                      resumed := true;
+                      ignore
+                        (Engine.schedule eng' ~delay:0 (fun () ->
+                             continue k ()))
+                    in
+                    register resumer)
+            | _ -> None);
+      }
+  in
+  ignore (Engine.schedule eng ~delay:0 body)
+
+let suspend eng register =
+  try perform (Suspend (register, eng))
+  with Effect.Unhandled _ -> raise Not_in_process
+
+let sleep eng d =
+  if d < 0 then invalid_arg "Process.sleep: negative duration";
+  suspend eng (fun resume ->
+      ignore (Engine.schedule eng ~delay:d (fun () -> resume ())))
+
+let yield eng = sleep eng 0

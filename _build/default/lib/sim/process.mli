@@ -1,0 +1,41 @@
+(** Cooperative simulation processes.
+
+    A process is an ordinary OCaml function run under an effect handler that
+    lets it suspend itself and be resumed later by the engine. Processes
+    model the concurrent actors of the simulated system: the host CPU
+    threads, the adaptor's transmit and receive microprocessors, the DMA
+    controller, link pipelines, and so on.
+
+    All suspension primitives ({!sleep}, and the blocking operations of
+    {!Mailbox}, {!Resource}, {!Signal}) may only be called from inside a
+    function started with {!spawn}; calling them elsewhere raises
+    [Not_in_process]. *)
+
+exception Not_in_process
+
+type resumer = unit -> unit
+(** A one-shot thunk that reschedules a suspended process. Primitives must
+    call it at most once; the resumed process runs as a fresh engine event
+    at the time the resumer is invoked. *)
+
+val spawn : Engine.t -> ?name:string -> (unit -> unit) -> unit
+(** [spawn eng f] starts [f] as a process at the current simulated time.
+    Uncaught exceptions from [f] are re-raised out of the engine loop with
+    the process [name] attached for diagnosis. *)
+
+val suspend : Engine.t -> ((resumer -> unit) -> unit)
+(** [suspend eng register] suspends the calling process. [register] is
+    called with the process's resumer, which some other actor must later
+    invoke to resume it. This is the single primitive from which all
+    blocking constructs are built. *)
+
+val sleep : Engine.t -> Time.t -> unit
+(** Suspend the calling process for the given simulated duration. *)
+
+val yield : Engine.t -> unit
+(** Suspend and immediately reschedule at the same simulated time, letting
+    other events at this instant run first. *)
+
+exception Process_failure of string * exn
+(** Raised out of the engine loop when a named process dies with an
+    uncaught exception. *)

@@ -1,0 +1,94 @@
+type stats = {
+  mutable busy_time : Time.t;
+  mutable acquisitions : int;
+  mutable wait_time : Time.t;
+}
+
+type waiter = { priority : int; seq : int; resume : Process.resumer }
+
+type t = {
+  eng : Engine.t;
+  capacity : int;
+  mutable held : int;
+  mutable wseq : int;
+  mutable waiters : waiter list; (* sorted by (priority, seq) *)
+  mutable last_change : Time.t;
+  stats : stats;
+}
+
+let create eng ~capacity =
+  if capacity < 1 then invalid_arg "Resource.create: capacity < 1";
+  {
+    eng;
+    capacity;
+    held = 0;
+    wseq = 0;
+    waiters = [];
+    last_change = Engine.now eng;
+    stats = { busy_time = 0; acquisitions = 0; wait_time = 0 };
+  }
+
+let account t =
+  let now = Engine.now t.eng in
+  t.stats.busy_time <- t.stats.busy_time + (t.held * (now - t.last_change));
+  t.last_change <- now
+
+let insert_waiter t w =
+  let rec ins = function
+    | [] -> [ w ]
+    | x :: rest ->
+        if
+          w.priority < x.priority
+          || (w.priority = x.priority && w.seq < x.seq)
+        then w :: x :: rest
+        else x :: ins rest
+  in
+  t.waiters <- ins t.waiters
+
+let try_acquire t =
+  if t.held < t.capacity && t.waiters = [] then begin
+    account t;
+    t.held <- t.held + 1;
+    t.stats.acquisitions <- t.stats.acquisitions + 1;
+    true
+  end
+  else false
+
+let acquire ?(priority = 0) t =
+  if t.held < t.capacity && t.waiters = [] then begin
+    account t;
+    t.held <- t.held + 1;
+    t.stats.acquisitions <- t.stats.acquisitions + 1
+  end
+  else begin
+    let started = Engine.now t.eng in
+    Process.suspend t.eng (fun resume ->
+        let w = { priority; seq = t.wseq; resume } in
+        t.wseq <- t.wseq + 1;
+        insert_waiter t w);
+    (* Woken by [release], which transferred the unit to us directly. *)
+    t.stats.wait_time <- t.stats.wait_time + (Engine.now t.eng - started);
+    t.stats.acquisitions <- t.stats.acquisitions + 1
+  end
+
+let release t =
+  if t.held <= 0 then invalid_arg "Resource.release: not held";
+  account t;
+  match t.waiters with
+  | [] -> t.held <- t.held - 1
+  | w :: rest ->
+      (* Hand the unit straight to the first waiter: [held] stays. *)
+      t.waiters <- rest;
+      w.resume ()
+
+let use ?priority t ~duration =
+  acquire ?priority t;
+  Process.sleep t.eng duration;
+  release t
+
+let in_use t = t.held
+let waiting t = List.length t.waiters
+
+let stats t =
+  account t;
+  t.stats

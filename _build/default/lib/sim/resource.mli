@@ -1,0 +1,42 @@
+(** Counted resources with FIFO (optionally prioritized) waiting.
+
+    A resource with capacity [c] admits at most [c] concurrent holders;
+    further {!acquire} calls block. This models exclusive hardware shared by
+    several actors — most importantly the TURBOchannel / memory bus, which
+    on the DECstation 5000/200 is held for the full duration of each DMA
+    transaction and each CPU cache fill. *)
+
+type t
+
+val create : Engine.t -> capacity:int -> t
+
+val acquire : ?priority:int -> t -> unit
+(** Block until a unit of the resource is available, then take it. Lower
+    [priority] values are served first; equal priorities are FIFO. The
+    default priority is 0. *)
+
+val try_acquire : t -> bool
+(** Take a unit if one is free; never blocks. *)
+
+val release : t -> unit
+(** Return one unit and wake the best waiter, if any. *)
+
+val use : ?priority:int -> t -> duration:Time.t -> unit
+(** [use t ~duration] acquires, holds the resource for [duration] of
+    simulated time, and releases. This is the shape of a bus transaction. *)
+
+val in_use : t -> int
+(** Units currently held. *)
+
+val waiting : t -> int
+(** Number of blocked acquirers. *)
+
+type stats = {
+  mutable busy_time : Time.t;  (** total (unit × time) the resource was held *)
+  mutable acquisitions : int;  (** completed acquires *)
+  mutable wait_time : Time.t;  (** total time acquirers spent blocked *)
+}
+
+val stats : t -> stats
+(** Live counters for utilization reporting; [busy_time] divided by elapsed
+    time and capacity gives utilization. *)

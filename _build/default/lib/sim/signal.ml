@@ -1,0 +1,13 @@
+type t = { eng : Engine.t; mutable queue : Process.resumer list }
+
+let create eng = { eng; queue = [] }
+
+let wait t =
+  Process.suspend t.eng (fun resume -> t.queue <- resume :: t.queue)
+
+let broadcast t =
+  let woken = List.rev t.queue in
+  t.queue <- [];
+  List.iter (fun resume -> resume ()) woken
+
+let waiters t = List.length t.queue

@@ -1,0 +1,19 @@
+(** Broadcast condition variables for simulation processes.
+
+    A signal carries no value; it wakes every process blocked in {!wait} at
+    the simulated instant {!broadcast} is called. Typical uses: "transmit
+    queue is no longer full", "an interrupt was raised". *)
+
+type t
+
+val create : Engine.t -> t
+
+val wait : t -> unit
+(** Block the calling process until the next {!broadcast}. *)
+
+val broadcast : t -> unit
+(** Wake all processes currently blocked in {!wait}. May be called from any
+    context (process or plain event callback). *)
+
+val waiters : t -> int
+(** Number of processes currently blocked on the signal. *)

@@ -1,0 +1,27 @@
+let fold sum =
+  let s = ref sum in
+  while !s > 0xffff do
+    s := (!s land 0xffff) + (!s lsr 16)
+  done;
+  !s
+
+let ones_complement_sum ?(init = 0) b ~off ~len =
+  if off < 0 || len < 0 || off + len > Bytes.length b then
+    invalid_arg "Checksum: region out of bounds";
+  let sum = ref init in
+  let i = ref off in
+  let last = off + len in
+  while !i + 1 < last do
+    sum := !sum + (Char.code (Bytes.get b !i) lsl 8) + Char.code (Bytes.get b (!i + 1));
+    i := !i + 2
+  done;
+  if !i < last then sum := !sum + (Char.code (Bytes.get b !i) lsl 8);
+  fold !sum
+
+let finish sum = lnot (fold sum) land 0xffff
+
+let compute b ~off ~len = finish (ones_complement_sum b ~off ~len)
+
+let verify b ~off ~len = fold (ones_complement_sum b ~off ~len) = 0xffff
+
+let combine a b = fold (a + b)

@@ -1,0 +1,29 @@
+let table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref (Int32.of_int n) in
+         for _ = 0 to 7 do
+           if Int32.logand !c 1l <> 0l then
+             c := Int32.logxor 0xEDB88320l (Int32.shift_right_logical !c 1)
+           else c := Int32.shift_right_logical !c 1
+         done;
+         !c))
+
+let init = 0xFFFFFFFFl
+
+let update crc b ~off ~len =
+  if off < 0 || len < 0 || off + len > Bytes.length b then
+    invalid_arg "Crc32: region out of bounds";
+  let t = Lazy.force table in
+  let c = ref crc in
+  for i = off to off + len - 1 do
+    let idx =
+      Int32.to_int (Int32.logand (Int32.logxor !c (Int32.of_int (Char.code (Bytes.get b i)))) 0xFFl)
+    in
+    c := Int32.logxor t.(idx) (Int32.shift_right_logical !c 8)
+  done;
+  !c
+
+let finalize crc = Int32.logxor crc 0xFFFFFFFFl
+
+let compute b ~off ~len = finalize (update init b ~off ~len)

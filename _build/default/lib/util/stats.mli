@@ -1,0 +1,39 @@
+(** Streaming statistics (Welford) and fixed-bucket histograms, used by the
+    experiment harness to summarize latencies, queue depths and rates. *)
+
+type t
+
+val create : unit -> t
+val add : t -> float -> unit
+val count : t -> int
+val mean : t -> float
+val variance : t -> float
+(** Sample variance; 0 for fewer than two observations. *)
+
+val stddev : t -> float
+val min : t -> float
+(** Smallest observation; [nan] when empty. *)
+
+val max : t -> float
+(** Largest observation; [nan] when empty. *)
+
+val sum : t -> float
+
+val pp : Format.formatter -> t -> unit
+(** "n=… mean=… sd=… min=… max=…". *)
+
+(** Histogram with uniform buckets over [\[lo, hi)]; out-of-range samples go
+    to the two overflow buckets. *)
+module Histogram : sig
+  type h
+
+  val create : lo:float -> hi:float -> buckets:int -> h
+  val add : h -> float -> unit
+  val count : h -> int
+
+  val percentile : h -> float -> float
+  (** [percentile h p] for [p] in [\[0,100\]]: the upper edge of the bucket
+      containing the [p]-th percentile observation. *)
+
+  val pp : Format.formatter -> h -> unit
+end

@@ -1,0 +1,1 @@
+lib/xkernel/demux.ml: Hashtbl Msg Printf

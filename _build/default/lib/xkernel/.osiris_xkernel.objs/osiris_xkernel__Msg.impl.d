@@ -1,0 +1,1 @@
+lib/xkernel/msg.ml: Bytes List Osiris_mem

@@ -1,0 +1,1 @@
+lib/xkernel/msg.mli: Bytes Osiris_mem

@@ -1,0 +1,1 @@
+lib/xkernel/path.ml: Demux List Osiris_os

@@ -1,0 +1,1 @@
+lib/xkernel/path.mli: Demux Msg Osiris_os

@@ -1,0 +1,198 @@
+module Vspace = Osiris_mem.Vspace
+module Pbuf = Osiris_mem.Pbuf
+
+type seg = { vaddr : int; len : int }
+
+type t = {
+  vs : Vspace.t;
+  mutable hdr_base : int; (* vaddr of the header page; -1 when absent *)
+  mutable hdr_off : int; (* first used byte within the header page *)
+  mutable data : seg list;
+  mutable owned : int list; (* region base vaddrs to free on dispose *)
+  mutable finalizers : (unit -> unit) list;
+  mutable disposed : bool;
+}
+
+let vspace t = t.vs
+
+let of_segs vs segs =
+  List.iter
+    (fun s -> if s.len < 0 || s.vaddr < 0 then invalid_arg "Msg.of_segs")
+    segs;
+  let data = List.filter (fun s -> s.len > 0) segs in
+  { vs; hdr_base = -1; hdr_off = 0; data; owned = []; finalizers = [];
+    disposed = false }
+
+let create vs ~vaddr ~len = of_segs vs [ { vaddr; len } ]
+
+let write_region vs ~vaddr b =
+  let len = Bytes.length b in
+  let rec go off remaining =
+    if remaining > 0 then begin
+      let ps = Vspace.page_size vs in
+      let va = vaddr + off in
+      let in_page = ps - (va mod ps) in
+      let chunk = min remaining in_page in
+      Osiris_mem.Phys_mem.blit_from_bytes (Vspace.mem vs) ~src:b ~src_off:off
+        ~dst:(Vspace.translate vs va) ~len:chunk;
+      go (off + chunk) (remaining - chunk)
+    end
+  in
+  go 0 len
+
+let read_region vs ~vaddr ~len =
+  let out = Bytes.create len in
+  let rec go off remaining =
+    if remaining > 0 then begin
+      let ps = Vspace.page_size vs in
+      let va = vaddr + off in
+      let in_page = ps - (va mod ps) in
+      let chunk = min remaining in_page in
+      Osiris_mem.Phys_mem.blit_to_bytes (Vspace.mem vs)
+        ~src:(Vspace.translate vs va) ~dst:out ~dst_off:off ~len:chunk;
+      go (off + chunk) (remaining - chunk)
+    end
+  in
+  go 0 len;
+  out
+
+let alloc vs ~len ?(page_offset = 0) ?fill () =
+  let vaddr = Vspace.alloc_offset vs ~len ~offset:page_offset in
+  (match fill with
+  | None -> ()
+  | Some f -> write_region vs ~vaddr (Bytes.init len f));
+  {
+    vs;
+    hdr_base = -1;
+    hdr_off = 0;
+    data = [ { vaddr; len } ];
+    owned = [ vaddr ];
+    finalizers = [];
+    disposed = false;
+  }
+
+let segs t =
+  if t.hdr_base >= 0 && t.hdr_off < Vspace.page_size t.vs then
+    { vaddr = t.hdr_base + t.hdr_off;
+      len = Vspace.page_size t.vs - t.hdr_off }
+    :: t.data
+  else t.data
+
+let length t = List.fold_left (fun acc s -> acc + s.len) 0 (segs t)
+
+let push t ~len writer =
+  if len <= 0 then invalid_arg "Msg.push: non-positive header length";
+  if t.hdr_base < 0 then begin
+    let ps = Vspace.page_size t.vs in
+    let base = Vspace.alloc t.vs ~len:ps in
+    t.hdr_base <- base;
+    t.hdr_off <- ps;
+    t.owned <- base :: t.owned
+  end;
+  if t.hdr_off - len < 0 then failwith "Msg.push: header area overflow";
+  let b = Bytes.make len '\000' in
+  writer b;
+  t.hdr_off <- t.hdr_off - len;
+  write_region t.vs ~vaddr:(t.hdr_base + t.hdr_off) b
+
+let peek t ~off ~len =
+  let out = Bytes.create len in
+  let rec go segs off out_off remaining =
+    if remaining > 0 then
+      match segs with
+      | [] -> invalid_arg "Msg.peek: beyond message end"
+      | s :: rest ->
+          if off >= s.len then go rest (off - s.len) out_off remaining
+          else begin
+            let chunk = min remaining (s.len - off) in
+            let piece = read_region t.vs ~vaddr:(s.vaddr + off) ~len:chunk in
+            Bytes.blit piece 0 out out_off chunk;
+            go (s :: rest) (off + chunk) (out_off + chunk) (remaining - chunk)
+          end
+  in
+  go (segs t) off 0 len;
+  out
+
+let pop t ~len =
+  let b = peek t ~off:0 ~len in
+  (* Strip from the header area first, then from data segments. *)
+  let remaining = ref len in
+  if t.hdr_base >= 0 then begin
+    let ps = Vspace.page_size t.vs in
+    let avail = ps - t.hdr_off in
+    let strip = min avail !remaining in
+    t.hdr_off <- t.hdr_off + strip;
+    remaining := !remaining - strip
+  end;
+  let rec strip_data segs n =
+    if n = 0 then segs
+    else
+      match segs with
+      | [] -> invalid_arg "Msg.pop: beyond message end"
+      | s :: rest ->
+          if n >= s.len then strip_data rest (n - s.len)
+          else { vaddr = s.vaddr + n; len = s.len - n } :: rest
+  in
+  t.data <- strip_data t.data !remaining;
+  b
+
+let sub t ~off ~len =
+  if off < 0 || len < 0 || off + len > length t then
+    invalid_arg "Msg.sub: range out of bounds";
+  let rec take segs off len acc =
+    if len = 0 then List.rev acc
+    else
+      match segs with
+      | [] -> List.rev acc
+      | s :: rest ->
+          if off >= s.len then take rest (off - s.len) len acc
+          else begin
+            let chunk = min len (s.len - off) in
+            take rest 0 (len - chunk)
+              ({ vaddr = s.vaddr + off; len = chunk } :: acc)
+          end
+  in
+  { vs = t.vs; hdr_base = -1; hdr_off = 0;
+    data = take (segs t) off len []; owned = []; finalizers = [];
+    disposed = false }
+
+let pbufs t =
+  Pbuf.coalesce
+    (List.concat_map
+       (fun s -> Vspace.phys_buffers t.vs ~vaddr:s.vaddr ~len:s.len)
+       (segs t))
+
+let read_all t = peek t ~off:0 ~len:(length t)
+
+let blit_into t ~off ~src =
+  let len = Bytes.length src in
+  if off < 0 || off + len > length t then
+    invalid_arg "Msg.blit_into: range out of bounds";
+  let rec go segs off src_off remaining =
+    if remaining > 0 then
+      match segs with
+      | [] -> ()
+      | s :: rest ->
+          if off >= s.len then go rest (off - s.len) src_off remaining
+          else begin
+            let chunk = min remaining (s.len - off) in
+            write_region t.vs ~vaddr:(s.vaddr + off)
+              (Bytes.sub src src_off chunk);
+            go (s :: rest) (off + chunk) (src_off + chunk) (remaining - chunk)
+          end
+  in
+  go (segs t) off 0 len
+
+let add_finalizer t f = t.finalizers <- f :: t.finalizers
+
+let dispose t =
+  if not t.disposed then begin
+    t.disposed <- true;
+    List.iter (fun base -> Vspace.free t.vs base) t.owned;
+    t.owned <- [];
+    t.data <- [];
+    t.hdr_base <- -1;
+    let fs = t.finalizers in
+    t.finalizers <- [];
+    List.iter (fun f -> f ()) fs
+  end

@@ -1,0 +1,81 @@
+(** The x-kernel message tool.
+
+    A message is a chain of byte ranges in some domain's virtual address
+    space: an optional {e header area} plus a list of data segments. Headers
+    are pushed into the header area back-to-front, so however many protocol
+    layers prepend headers, the header portion stays one virtually (and
+    physically) contiguous buffer — the paper's Figure 1, where a PDU is
+    "header buffer + data pages".
+
+    Messages never copy payload data: fragmentation ({!sub}) and header
+    manipulation only adjust the segment descriptors. The physical shape of
+    a message — the list of physical buffers a driver must hand to the
+    adaptor — comes from {!pbufs} and exhibits exactly the §2.2
+    fragmentation behaviour, because the backing pages are generally not
+    physically contiguous.
+
+    Reads and writes through this module move real simulated-memory bytes
+    but are not charged simulated time; protocol layers charge their own
+    CPU/cache costs explicitly. *)
+
+type seg = { vaddr : int; len : int }
+
+type t
+
+val vspace : t -> Osiris_mem.Vspace.t
+
+val of_segs : Osiris_mem.Vspace.t -> seg list -> t
+(** A message viewing existing mapped ranges (e.g. driver receive
+    buffers). *)
+
+val create : Osiris_mem.Vspace.t -> vaddr:int -> len:int -> t
+(** Single-segment view. *)
+
+val alloc : Osiris_mem.Vspace.t -> len:int -> ?page_offset:int -> ?fill:(int -> char) -> unit -> t
+(** Allocate a fresh [len]-byte payload in the address space (starting
+    [page_offset] bytes into its first page, default 0) and optionally fill
+    it. The allocation is owned by the message and released by
+    {!dispose}. *)
+
+val length : t -> int
+(** Total bytes, headers included. *)
+
+val push : t -> len:int -> (Bytes.t -> unit) -> unit
+(** Prepend a [len]-byte header: the writer callback fills a scratch buffer
+    that is then stored in front of the current contents. The header area
+    (one page, allocated on first push) grows downward. Raises [Failure] if
+    the header area overflows. *)
+
+val pop : t -> len:int -> Bytes.t
+(** Read and strip the first [len] bytes (a received header). *)
+
+val peek : t -> off:int -> len:int -> Bytes.t
+(** Read without stripping. *)
+
+val sub : t -> off:int -> len:int -> t
+(** A zero-copy view of a byte range of the message (headers included in
+    the offset space) — the fragmentation primitive. The view shares the
+    parent's memory and owns no allocations. *)
+
+val pbufs : t -> Osiris_mem.Pbuf.t list
+(** Physical buffers covering the message in order: what the driver hands
+    to the adaptor. *)
+
+val segs : t -> seg list
+(** Current virtual segments, header area first. *)
+
+val read_all : t -> Bytes.t
+(** Copy of the whole contents (for checks and tests). *)
+
+val blit_into : t -> off:int -> src:Bytes.t -> unit
+(** Overwrite part of the message contents in place. *)
+
+val add_finalizer : t -> (unit -> unit) -> unit
+(** Run the callback when the message is disposed. This is how driver
+    receive buffers are recycled once the protocol stack and application
+    are done with a zero-copy delivery chain. *)
+
+val dispose : t -> unit
+(** Free every region this message allocated (header area, {!alloc}
+    payload) and run finalizers. Views created by {!sub} must not be used
+    afterwards. Idempotent. *)

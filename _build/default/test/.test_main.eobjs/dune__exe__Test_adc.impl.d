@@ -1,0 +1,1 @@
+test/test_adc.ml: Alcotest Bytes Char Engine Host Machine Network Osiris_adc Osiris_board Osiris_core Osiris_proto Osiris_sim Osiris_xkernel Printf Process Time

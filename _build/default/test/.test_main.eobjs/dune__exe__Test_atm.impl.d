@@ -1,0 +1,1 @@
+test/test_atm.ml: Alcotest Array Bytes Cell Char Format Gen List Osiris_atm Osiris_util QCheck QCheck_alcotest Sar

@@ -1,0 +1,1 @@
+test/test_board.ml: Alcotest Bytes Char Engine List Option Osiris_atm Osiris_board Osiris_bus Osiris_link Osiris_mem Osiris_sim Osiris_util Printf Process QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_bus.ml: Alcotest Engine Osiris_bus Osiris_sim Process QCheck QCheck_alcotest

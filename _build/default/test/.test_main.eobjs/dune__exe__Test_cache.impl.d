@@ -1,0 +1,1 @@
+test/test_cache.ml: Alcotest Bytes Engine Option Osiris_bus Osiris_cache Osiris_mem Osiris_sim Process

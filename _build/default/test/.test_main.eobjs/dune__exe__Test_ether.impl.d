@@ -1,0 +1,1 @@
+test/test_ether.ml: Alcotest Bytes Char Engine List Osiris_bus Osiris_core Osiris_ether Osiris_os Osiris_sim Printf Process Time

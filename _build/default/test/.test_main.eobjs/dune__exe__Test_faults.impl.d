@@ -1,0 +1,1 @@
+test/test_faults.ml: Alcotest Bytes Char Driver Engine Hashtbl Host List Machine Network Option Osiris_board Osiris_core Osiris_link Osiris_proto Osiris_sim Osiris_xkernel Printf Process Time

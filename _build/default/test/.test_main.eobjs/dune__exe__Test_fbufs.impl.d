@@ -1,0 +1,1 @@
+test/test_fbufs.ml: Alcotest Engine List Option Osiris_fbufs Osiris_mem Osiris_os Osiris_sim Printf Process

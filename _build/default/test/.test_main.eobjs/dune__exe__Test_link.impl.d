@@ -1,0 +1,1 @@
+test/test_link.ml: Alcotest Bytes Char Engine List Osiris_atm Osiris_link Osiris_sim Osiris_util Printf Process

@@ -1,0 +1,1 @@
+test/test_mem.ml: Alcotest List Osiris_mem Osiris_util Pbuf Phys_mem QCheck QCheck_alcotest Sg_map Vspace

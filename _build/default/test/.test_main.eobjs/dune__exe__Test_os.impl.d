@@ -1,0 +1,1 @@
+test/test_os.ml: Alcotest Array Engine List Osiris_mem Osiris_os Osiris_sim Process

@@ -1,0 +1,1 @@
+test/test_proto.ml: Alcotest Array Bytes Char Engine List Option Osiris_bus Osiris_cache Osiris_mem Osiris_os Osiris_proto Osiris_sim Osiris_util Osiris_xkernel Process QCheck QCheck_alcotest

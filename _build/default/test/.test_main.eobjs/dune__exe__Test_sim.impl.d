@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Buffer Engine Heap List Mailbox Osiris_sim Process QCheck QCheck_alcotest Resource Signal

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Bytes Char Checksum Crc32 Gen List Osiris_util QCheck QCheck_alcotest Rng Stats Units

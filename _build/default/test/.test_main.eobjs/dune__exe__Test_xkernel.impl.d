@@ -1,0 +1,1 @@
+test/test_xkernel.ml: Alcotest Bytes Char Gen List Osiris_mem Osiris_os Osiris_util Osiris_xkernel QCheck QCheck_alcotest

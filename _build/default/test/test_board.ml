@@ -1,0 +1,406 @@
+(* Tests for the adaptor: descriptor queues (the §2.1.1 lock-free
+   discipline) and the board's transmit/receive machinery. *)
+
+open Osiris_sim
+module Board = Osiris_board.Board
+module Desc = Osiris_board.Desc
+module Desc_queue = Osiris_board.Desc_queue
+module Cell = Osiris_atm.Cell
+module Sar = Osiris_atm.Sar
+module Phys_mem = Osiris_mem.Phys_mem
+module Pbuf = Osiris_mem.Pbuf
+module Atm_link = Osiris_link.Atm_link
+module Tc = Osiris_bus.Turbochannel
+module Rng = Osiris_util.Rng
+
+let mk_queue ?(size = 8) ?(locking = Desc_queue.Lock_free) direction =
+  let eng = Engine.create () in
+  (eng, Desc_queue.create eng ~size ~direction ~locking
+          ~hooks:Desc_queue.free_hooks)
+
+let d i = Desc.v ~addr:(i * 4096) ~len:100 ~vci:i ()
+
+let in_process eng f =
+  let r = ref None in
+  Process.spawn eng ~name:"t" (fun () -> r := Some (f ()));
+  Engine.run eng;
+  Option.get !r
+
+let test_queue_fifo () =
+  let eng, q = mk_queue Desc_queue.Host_to_board in
+  in_process eng (fun () ->
+      for i = 1 to 5 do
+        Alcotest.(check bool) "enqueue" true (Desc_queue.host_enqueue q (d i))
+      done;
+      for i = 1 to 5 do
+        match Desc_queue.board_dequeue q with
+        | Some x -> Alcotest.(check int) "FIFO order" i x.Desc.vci
+        | None -> Alcotest.fail "missing element"
+      done;
+      Alcotest.(check bool) "drained" true (Desc_queue.is_empty q))
+
+let test_queue_full_empty () =
+  let eng, q = mk_queue ~size:4 Desc_queue.Host_to_board in
+  in_process eng (fun () ->
+      (* size-1 usable slots *)
+      Alcotest.(check bool) "1" true (Desc_queue.host_enqueue q (d 1));
+      Alcotest.(check bool) "2" true (Desc_queue.host_enqueue q (d 2));
+      Alcotest.(check bool) "3" true (Desc_queue.host_enqueue q (d 3));
+      Alcotest.(check bool) "full" false (Desc_queue.host_enqueue q (d 4));
+      Alcotest.(check bool) "is_full" true (Desc_queue.is_full q);
+      ignore (Desc_queue.board_dequeue q);
+      Alcotest.(check bool) "space again" true (Desc_queue.host_enqueue q (d 4)))
+
+let test_queue_counters () =
+  let eng, q = mk_queue Desc_queue.Host_to_board in
+  in_process eng (fun () ->
+      for i = 1 to 5 do
+        ignore (Desc_queue.host_enqueue q (d i))
+      done;
+      for _ = 1 to 3 do
+        ignore (Desc_queue.board_dequeue q)
+      done;
+      Alcotest.(check int) "enqueued" 5 (Desc_queue.total_enqueued q);
+      Alcotest.(check int) "dequeued" 3 (Desc_queue.total_dequeued q);
+      Alcotest.(check int) "count" 2 (Desc_queue.count q))
+
+let test_queue_peek_advance () =
+  let eng, q = mk_queue Desc_queue.Host_to_board in
+  in_process eng (fun () ->
+      for i = 1 to 4 do
+        ignore (Desc_queue.host_enqueue q (d i))
+      done;
+      (match Desc_queue.board_peek q 2 with
+      | Some x -> Alcotest.(check int) "peek third" 3 x.Desc.vci
+      | None -> Alcotest.fail "peek failed");
+      Alcotest.(check int) "peek does not consume" 4 (Desc_queue.count q);
+      Desc_queue.board_advance q 3;
+      Alcotest.(check int) "advance consumes" 1 (Desc_queue.count q);
+      match Desc_queue.board_dequeue q with
+      | Some x -> Alcotest.(check int) "remaining" 4 x.Desc.vci
+      | None -> Alcotest.fail "lost element")
+
+let test_queue_direction_enforced () =
+  let eng, q = mk_queue Desc_queue.Host_to_board in
+  in_process eng (fun () ->
+      Alcotest.(check bool) "wrong side rejected" true
+        (try
+           ignore (Desc_queue.host_dequeue q);
+           false
+         with Invalid_argument _ -> true))
+
+let test_queue_waiting_protocol () =
+  let eng, q = mk_queue ~size:8 Desc_queue.Host_to_board in
+  in_process eng (fun () ->
+      for i = 1 to 7 do
+        ignore (Desc_queue.host_enqueue q (d i))
+      done;
+      Desc_queue.host_set_waiting q;
+      Alcotest.(check bool) "not yet half empty" false
+        (Desc_queue.board_test_waiting q);
+      for _ = 1 to 3 do
+        ignore (Desc_queue.board_dequeue q)
+      done;
+      Alcotest.(check bool) "half empty: interrupt now" true
+        (Desc_queue.board_test_waiting q);
+      Alcotest.(check bool) "one-shot" false (Desc_queue.board_test_waiting q))
+
+(* PIO accounting: the lock-free discipline's shadow pointers save reads. *)
+let test_queue_shadow_saves_reads () =
+  let eng, q = mk_queue ~size:32 Desc_queue.Host_to_board in
+  in_process eng (fun () ->
+      for i = 1 to 16 do
+        ignore (Desc_queue.host_enqueue q (d i))
+      done;
+      let st = Desc_queue.access_stats q in
+      Alcotest.(check bool) "shadow hits" true (st.Desc_queue.shadow_hits >= 15);
+      (* Each enqueue writes descriptor words + head pointer only. *)
+      Alcotest.(check int) "writes per op" (16 * (Desc.words + 1))
+        st.Desc_queue.host_writes)
+
+let test_queue_spinlock_costs_more () =
+  let eng1, q1 = mk_queue ~size:32 ~locking:Desc_queue.Lock_free
+      Desc_queue.Host_to_board in
+  let eng2, q2 = mk_queue ~size:32 ~locking:Desc_queue.Spin_lock
+      Desc_queue.Host_to_board in
+  let words q =
+    let st = Desc_queue.access_stats q in
+    st.Desc_queue.host_reads + st.Desc_queue.host_writes
+  in
+  in_process eng1 (fun () ->
+      for i = 1 to 8 do
+        ignore (Desc_queue.host_enqueue q1 (d i))
+      done);
+  in_process eng2 (fun () ->
+      for i = 1 to 8 do
+        ignore (Desc_queue.host_enqueue q2 (d i))
+      done);
+  Alcotest.(check bool) "spin lock touches more words" true
+    (words q2 > words q1)
+
+(* Interleaved producer/consumer property: everything enqueued is dequeued
+   exactly once, in order, under arbitrary schedules. *)
+let queue_linearizable =
+  QCheck.Test.make ~name:"desc_queue: interleaved FIFO integrity" ~count:60
+    QCheck.(pair (int_range 1 60) (int_range 0 1000))
+    (fun (n, seed) ->
+      let eng = Engine.create () in
+      let q =
+        Desc_queue.create eng ~size:8 ~direction:Desc_queue.Host_to_board
+          ~locking:Desc_queue.Lock_free ~hooks:Desc_queue.free_hooks
+      in
+      let rng = Rng.create ~seed in
+      let got = ref [] in
+      Process.spawn eng ~name:"producer" (fun () ->
+          for i = 1 to n do
+            while not (Desc_queue.host_enqueue q (d i)) do
+              Process.sleep eng 3
+            done;
+            Process.sleep eng (Rng.int rng 5)
+          done);
+      Process.spawn eng ~name:"consumer" (fun () ->
+          let consumed = ref 0 in
+          while !consumed < n do
+            (match Desc_queue.board_dequeue q with
+            | Some x ->
+                got := x.Desc.vci :: !got;
+                incr consumed
+            | None -> ());
+            Process.sleep eng (Rng.int rng 7)
+          done);
+      Engine.run eng;
+      List.rev !got = List.init n (fun i -> i + 1))
+
+(* Whole-board loopback: a PDU queued on the transmit side arrives intact
+   in the receive buffers of a second board. *)
+let board_loopback ?(dma_mode = Board.Double_cell) ?(pdu_len = 5000)
+    ?(link_cfg = Atm_link.default_config) () =
+  let eng = Engine.create () in
+  let mem = Phys_mem.create ~size:(8 lsl 20) ~page_size:4096 () in
+  let bus_a = Tc.create eng (Tc.turbochannel_config Tc.Shared_bus) in
+  let bus_b = Tc.create eng (Tc.turbochannel_config Tc.Shared_bus) in
+  let cfg = { Board.default_config with Board.dma_mode } in
+  let interrupts = ref [] in
+  let board_a =
+    Board.create eng ~bus:bus_a ~mem
+      ~on_interrupt:(fun r -> interrupts := r :: !interrupts)
+      cfg
+  in
+  let board_b =
+    Board.create eng ~bus:bus_b ~mem
+      ~on_interrupt:(fun r -> interrupts := r :: !interrupts)
+      cfg
+  in
+  let rng = Rng.create ~seed:8 in
+  let ab = Atm_link.create eng (Rng.split rng) link_cfg in
+  let ba = Atm_link.create eng (Rng.split rng) link_cfg in
+  Board.attach board_a ~tx_link:ab ~rx_link:ba;
+  Board.attach board_b ~tx_link:ba ~rx_link:ab;
+  Board.start board_a;
+  Board.start board_b;
+  let vci = 7 in
+  Board.bind_vci board_b ~vci (Board.kernel_channel board_b);
+  (* Receive buffers for B. *)
+  let rx_buf_size = 16 * 1024 in
+  let free_q = Board.free_queue (Board.kernel_channel board_b) in
+  let rx_q = Board.rx_queue (Board.kernel_channel board_b) in
+  let tx_q = Board.tx_queue (Board.kernel_channel board_a) in
+  (* Source data in "host memory" of A. *)
+  let src_addr = 1 lsl 20 in
+  let payload = Bytes.init pdu_len (fun i -> Char.chr ((i * 3) land 0xff)) in
+  Phys_mem.blit_from_bytes mem ~src:payload ~src_off:0 ~dst:src_addr
+    ~len:pdu_len;
+  let result = ref None in
+  Process.spawn eng ~name:"host" (fun () ->
+      (* stock B's free queue *)
+      for i = 0 to 3 do
+        ignore
+          (Desc_queue.host_enqueue free_q
+             (Desc.v ~addr:((2 lsl 20) + (i * rx_buf_size)) ~len:rx_buf_size ()))
+      done;
+      (* queue the PDU on A as a 2-buffer chain *)
+      let cut = pdu_len / 2 in
+      ignore
+        (Desc_queue.host_enqueue tx_q
+           (Desc.v ~addr:src_addr ~len:cut ~vci ~eop:false ()));
+      ignore
+        (Desc_queue.host_enqueue tx_q
+           (Desc.v ~addr:(src_addr + cut) ~len:(pdu_len - cut) ~vci ~eop:true
+              ()));
+      (* wait for the receive queue to yield a complete PDU *)
+      let chain = ref [] in
+      let finished = ref false in
+      while not !finished do
+        (match Desc_queue.host_dequeue rx_q with
+        | Some desc ->
+            chain := desc :: !chain;
+            if desc.Desc.eop then finished := true
+        | None -> Process.sleep eng 50_000);
+        if Engine.now eng > 1_000_000_000 then failwith "timeout"
+      done;
+      let framed =
+        Phys_mem.bytes_of_pbufs mem (List.rev_map Desc.to_pbuf !chain)
+      in
+      result := Some (Sar.deframe framed));
+  Engine.run ~until:2_000_000_000 eng;
+  (payload, !result, board_a, board_b)
+
+let test_loopback_intact () =
+  let payload, result, board_a, board_b = board_loopback () in
+  (match result with
+  | Some (Ok data) ->
+      Alcotest.(check bytes) "payload intact" payload data
+  | Some (Error e) -> Alcotest.fail ("deframe: " ^ e)
+  | None -> Alcotest.fail "no PDU received");
+  let sa = Board.stats board_a and sb = Board.stats board_b in
+  Alcotest.(check int) "one PDU sent" 1 sa.Board.pdus_sent;
+  Alcotest.(check int) "one PDU received" 1 sb.Board.pdus_received;
+  Alcotest.(check int) "cells conserved" sa.Board.cells_sent
+    sb.Board.cells_received
+
+let test_loopback_single_cell () =
+  let payload, result, _, _ = board_loopback ~dma_mode:Board.Single_cell () in
+  match result with
+  | Some (Ok data) -> Alcotest.(check bytes) "payload intact" payload data
+  | _ -> Alcotest.fail "single-cell loopback failed"
+
+let test_loopback_with_skew () =
+  let link_cfg =
+    {
+      Atm_link.default_config with
+      Atm_link.skew = [| 0; 5000; 10000; 15000 |];
+    }
+  in
+  let payload, result, _, board_b = board_loopback ~link_cfg () in
+  (match result with
+  | Some (Ok data) -> Alcotest.(check bytes) "payload intact" payload data
+  | _ -> Alcotest.fail "skewed loopback failed");
+  (* Skew destroys double-cell combining (paper §2.6). *)
+  let sb = Board.stats board_b in
+  Alcotest.(check bool)
+    (Printf.sprintf "combining suppressed (%d)" sb.Board.combined_dmas)
+    true
+    (sb.Board.combined_dmas < 5)
+
+let test_double_cell_combines () =
+  (* Combining engages when cells queue up faster than single-cell DMA
+     drains them: saturate a lone board with the fictitious source. *)
+  let eng = Engine.create () in
+  let mem = Phys_mem.create ~size:(8 lsl 20) ~page_size:4096 () in
+  let bus = Tc.create eng (Tc.turbochannel_config Tc.Shared_bus) in
+  let board =
+    Board.create eng ~bus ~mem ~on_interrupt:ignore
+      { Board.default_config with Board.dma_mode = Board.Double_cell }
+  in
+  Board.bind_vci board ~vci:7 (Board.kernel_channel board);
+  let pdu = Bytes.init 16000 (fun i -> Char.chr (i land 0xff)) in
+  Board.start_fictitious_source board ~pdus:[ (7, pdu) ] ();
+  Board.start board;
+  let free_q = Board.free_queue (Board.kernel_channel board) in
+  let rx_q = Board.rx_queue (Board.kernel_channel board) in
+  Process.spawn eng ~name:"host" (fun () ->
+      for i = 0 to 30 do
+        ignore
+          (Desc_queue.host_enqueue free_q
+             (Desc.v ~addr:((2 lsl 20) + (i * 16384)) ~len:16384 ()))
+      done;
+      (* keep draining so buffers recycle *)
+      let rec loop () =
+        (match Desc_queue.host_dequeue rx_q with
+        | Some d ->
+            ignore
+              (Desc_queue.host_enqueue free_q
+                 (Desc.v ~addr:d.Desc.addr ~len:16384 ()))
+        | None -> Process.sleep eng 50_000);
+        loop ()
+      in
+      loop ());
+  Engine.run ~until:5_000_000 eng;
+  let sb = Board.stats board in
+  Alcotest.(check bool)
+    (Printf.sprintf "combined %d of %d cells" sb.Board.combined_dmas
+       sb.Board.cells_received)
+    true
+    (sb.Board.combined_dmas * 2 > sb.Board.cells_received / 2);
+  Alcotest.(check bool) "PDUs flowed" true (sb.Board.pdus_received > 10)
+
+(* The per-VCI preallocated buffer path (the board half of fbufs, §3.1):
+   buffers supplied for a VCI are preferred over the generic free queue. *)
+let test_vci_buffer_preference () =
+  (* A loopback where the VC has private buffers and the generic free
+     queue is left empty. *)
+  let eng = Engine.create () in
+  let mem = Phys_mem.create ~size:(8 lsl 20) ~page_size:4096 () in
+  let bus_a = Tc.create eng (Tc.turbochannel_config Tc.Shared_bus) in
+  let bus_b = Tc.create eng (Tc.turbochannel_config Tc.Shared_bus) in
+  let cfg = Board.default_config in
+  let board_a = Board.create eng ~bus:bus_a ~mem ~on_interrupt:ignore cfg in
+  let board_b = Board.create eng ~bus:bus_b ~mem ~on_interrupt:ignore cfg in
+  let rng = Rng.create ~seed:9 in
+  let ab = Atm_link.create eng (Rng.split rng) Atm_link.default_config in
+  let ba = Atm_link.create eng (Rng.split rng) Atm_link.default_config in
+  Board.attach board_a ~tx_link:ab ~rx_link:ba;
+  Board.attach board_b ~tx_link:ba ~rx_link:ab;
+  Board.start board_a;
+  Board.start board_b;
+  let vci = 7 in
+  Board.bind_vci board_b ~vci (Board.kernel_channel board_b);
+  let src_addr = 1 lsl 20 in
+  Phys_mem.fill mem ~addr:src_addr ~len:1000 'v';
+  let got = ref false in
+  Process.spawn eng ~name:"host" (fun () ->
+      (* two private 16KB buffers for this VCI; nothing in the free queue *)
+      ignore (Board.supply_vci_buffer board_b ~vci
+                (Desc.v ~addr:(2 lsl 20) ~len:(16 * 1024) ()));
+      ignore (Board.supply_vci_buffer board_b ~vci
+                (Desc.v ~addr:((2 lsl 20) + (16 * 1024)) ~len:(16 * 1024) ()));
+      Alcotest.(check int) "buffers registered" 2
+        (Board.vci_buffer_count board_b ~vci);
+      ignore
+        (Desc_queue.host_enqueue
+           (Board.tx_queue (Board.kernel_channel board_a))
+           (Desc.v ~addr:src_addr ~len:1000 ~vci ~eop:true ()));
+      let rx_q = Board.rx_queue (Board.kernel_channel board_b) in
+      let rec wait () =
+        match Desc_queue.host_dequeue rx_q with
+        | Some d ->
+            Alcotest.(check int) "delivered into the private buffer"
+              (2 lsl 20) d.Desc.addr;
+            got := true
+        | None ->
+            Process.sleep eng 10_000;
+            if Engine.now eng < 500_000_000 then wait ()
+      in
+      wait ());
+  Engine.run ~until:1_000_000_000 eng;
+  Alcotest.(check bool) "PDU received without touching the free queue" true
+    !got;
+  Alcotest.(check int) "one private buffer consumed" 1
+    (Board.vci_buffer_count board_b ~vci)
+
+let suite =
+  [
+    Alcotest.test_case "desc_queue: FIFO" `Quick test_queue_fifo;
+    Alcotest.test_case "desc_queue: full/empty" `Quick test_queue_full_empty;
+    Alcotest.test_case "desc_queue: counters" `Quick test_queue_counters;
+    Alcotest.test_case "desc_queue: peek/advance" `Quick
+      test_queue_peek_advance;
+    Alcotest.test_case "desc_queue: direction" `Quick
+      test_queue_direction_enforced;
+    Alcotest.test_case "desc_queue: tx-full protocol" `Quick
+      test_queue_waiting_protocol;
+    Alcotest.test_case "desc_queue: shadow pointers" `Quick
+      test_queue_shadow_saves_reads;
+    Alcotest.test_case "desc_queue: spin lock traffic" `Quick
+      test_queue_spinlock_costs_more;
+    QCheck_alcotest.to_alcotest queue_linearizable;
+    Alcotest.test_case "board: loopback intact" `Quick test_loopback_intact;
+    Alcotest.test_case "board: single-cell loopback" `Quick
+      test_loopback_single_cell;
+    Alcotest.test_case "board: loopback under skew" `Quick
+      test_loopback_with_skew;
+    Alcotest.test_case "board: double-cell combining" `Quick
+      test_double_cell_combines;
+    Alcotest.test_case "board: per-VCI buffers (fbuf fast path)" `Quick
+      test_vci_buffer_preference;
+  ]

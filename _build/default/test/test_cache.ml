@@ -1,0 +1,140 @@
+(* Tests for the data-cache model: hits, misses, write-through, stale data
+   under software coherence, hardware update, invalidation. *)
+
+open Osiris_sim
+module Cache = Osiris_cache.Data_cache
+module Phys_mem = Osiris_mem.Phys_mem
+module Tc = Osiris_bus.Turbochannel
+
+let setup ?(coherence = Cache.Software) () =
+  let eng = Engine.create () in
+  let mem = Phys_mem.create ~size:(1 lsl 20) ~page_size:4096 () in
+  let bus = Tc.create eng (Tc.turbochannel_config Tc.Shared_bus) in
+  let cache =
+    Cache.create eng ~mem ~bus
+      {
+        Cache.size = 64 * 1024;
+        line_size = 16;
+        coherence;
+        cpu_hz = 25_000_000;
+        hit_cycles_per_word = 1;
+        fill_overhead_cycles = 13;
+        invalidate_cycles_per_word = 1;
+      }
+  in
+  (eng, mem, cache)
+
+let in_process eng f =
+  let r = ref None in
+  Process.spawn eng ~name:"t" (fun () -> r := Some (f ()));
+  Engine.run eng;
+  Option.get !r
+
+let test_read_returns_memory () =
+  let eng, mem, cache = setup () in
+  in_process eng (fun () ->
+      Phys_mem.fill mem ~addr:512 ~len:64 'Q';
+      let b = Cache.read cache ~addr:512 ~len:64 in
+      Alcotest.(check bytes) "fill read" (Bytes.make 64 'Q') b)
+
+let test_hit_vs_miss_cost () =
+  let eng, _, cache = setup () in
+  in_process eng (fun () ->
+      let t0 = Engine.now eng in
+      ignore (Cache.read cache ~addr:0 ~len:64);
+      let t_miss = Engine.now eng - t0 in
+      let t1 = Engine.now eng in
+      ignore (Cache.read cache ~addr:0 ~len:64);
+      let t_hit = Engine.now eng - t1 in
+      Alcotest.(check bool) "miss costs more" true (t_miss > 2 * t_hit);
+      let st = Cache.stats cache in
+      Alcotest.(check int) "misses" 4 st.Cache.misses;
+      Alcotest.(check int) "hits" 4 st.Cache.hits)
+
+let test_stale_data_software () =
+  let eng, mem, cache = setup () in
+  in_process eng (fun () ->
+      Phys_mem.fill mem ~addr:0 ~len:64 'A';
+      ignore (Cache.read cache ~addr:0 ~len:64);
+      (* DMA overwrites memory; the cache is not told to update. *)
+      Phys_mem.fill mem ~addr:0 ~len:64 'B';
+      Cache.dma_wrote cache ~addr:0 ~len:64;
+      let b = Cache.read cache ~addr:0 ~len:64 in
+      Alcotest.(check bytes) "stale bytes returned" (Bytes.make 64 'A') b;
+      let st = Cache.stats cache in
+      Alcotest.(check bool) "overlaps counted" true (st.Cache.stale_overlaps > 0);
+      Alcotest.(check bool) "stale read counted" true (st.Cache.stale_reads > 0);
+      (* Invalidate, then the truth is visible. *)
+      Cache.invalidate cache ~addr:0 ~len:64;
+      let b2 = Cache.read cache ~addr:0 ~len:64 in
+      Alcotest.(check bytes) "fresh after invalidate" (Bytes.make 64 'B') b2)
+
+let test_hardware_update () =
+  let eng, mem, cache = setup ~coherence:Cache.Hardware_update () in
+  in_process eng (fun () ->
+      Phys_mem.fill mem ~addr:0 ~len:64 'A';
+      ignore (Cache.read cache ~addr:0 ~len:64);
+      Phys_mem.fill mem ~addr:0 ~len:64 'B';
+      Cache.dma_wrote cache ~addr:0 ~len:64;
+      let b = Cache.read cache ~addr:0 ~len:64 in
+      Alcotest.(check bytes) "coherent" (Bytes.make 64 'B') b;
+      Alcotest.(check int) "no stale reads"
+        0 (Cache.stats cache).Cache.stale_reads)
+
+let test_hardware_update_allocates () =
+  (* The 3000/600's L2 takes DMA data in: the first CPU read hits. *)
+  let eng, mem, cache = setup ~coherence:Cache.Hardware_update () in
+  in_process eng (fun () ->
+      Phys_mem.fill mem ~addr:1024 ~len:16 'Z';
+      Cache.dma_wrote cache ~addr:1024 ~len:16;
+      Alcotest.(check bool) "resident after DMA" true
+        (Cache.resident cache ~addr:1024))
+
+let test_write_through () =
+  let eng, mem, cache = setup () in
+  in_process eng (fun () ->
+      ignore (Cache.read cache ~addr:0 ~len:16);
+      Cache.write cache ~addr:0 ~src:(Bytes.make 16 'W');
+      (* memory updated immediately *)
+      Alcotest.(check bytes) "memory updated" (Bytes.make 16 'W')
+        (Phys_mem.bytes_of_region mem ~addr:0 ~len:16);
+      (* resident line updated too: a read hits and agrees *)
+      let b = Cache.read cache ~addr:0 ~len:16 in
+      Alcotest.(check bytes) "cache coherent with own write"
+        (Bytes.make 16 'W') b)
+
+let test_invalidation_cost () =
+  let eng, _, cache = setup () in
+  in_process eng (fun () ->
+      let t0 = Engine.now eng in
+      (* 16 KB = 4096 words at 1 cycle each at 25 MHz = 163.84 us *)
+      Cache.invalidate cache ~addr:0 ~len:(16 * 1024);
+      let dt = Engine.now eng - t0 in
+      Alcotest.(check int) "one cycle per word" 163_840 dt)
+
+let test_direct_mapped_eviction () =
+  let eng, mem, cache = setup () in
+  in_process eng (fun () ->
+      Phys_mem.fill mem ~addr:0 ~len:16 'A';
+      ignore (Cache.read cache ~addr:0 ~len:16);
+      Alcotest.(check bool) "resident" true (Cache.resident cache ~addr:0);
+      (* Same index, different tag: 64 KB away. *)
+      ignore (Cache.read cache ~addr:(64 * 1024) ~len:16);
+      Alcotest.(check bool) "evicted by alias" false
+        (Cache.resident cache ~addr:0))
+
+let suite =
+  [
+    Alcotest.test_case "read returns memory" `Quick test_read_returns_memory;
+    Alcotest.test_case "hit vs miss cost" `Quick test_hit_vs_miss_cost;
+    Alcotest.test_case "stale data under software coherence" `Quick
+      test_stale_data_software;
+    Alcotest.test_case "hardware update mode" `Quick test_hardware_update;
+    Alcotest.test_case "hardware update allocates" `Quick
+      test_hardware_update_allocates;
+    Alcotest.test_case "write-through" `Quick test_write_through;
+    Alcotest.test_case "invalidation cost (1 cycle/word)" `Quick
+      test_invalidation_cost;
+    Alcotest.test_case "direct-mapped eviction" `Quick
+      test_direct_mapped_eviction;
+  ]

@@ -1,0 +1,99 @@
+(* Tests for the fbuf allocator: cached pools, LRU, costs. *)
+
+open Osiris_sim
+module Fbufs = Osiris_fbufs.Fbufs
+module Cpu = Osiris_os.Cpu
+module Vspace = Osiris_mem.Vspace
+module Phys_mem = Osiris_mem.Phys_mem
+
+let setup ?(max_cached_paths = 4) ?(bufs_per_path = 2) () =
+  let eng = Engine.create () in
+  let mem = Phys_mem.create ~size:(16 lsl 20) ~page_size:4096 () in
+  let vs = Vspace.create mem in
+  let cpu = Cpu.create eng ~hz:25_000_000 in
+  let fb =
+    Fbufs.create cpu vs Fbufs.default_costs ~max_cached_paths ~bufs_per_path
+      ~buf_size:8192
+  in
+  (eng, fb)
+
+let in_process eng f =
+  let r = ref None in
+  Process.spawn eng ~name:"t" (fun () -> r := Some (f ()));
+  Engine.run eng;
+  Option.get !r
+
+let test_cached_pool_hits () =
+  let eng, fb = setup () in
+  in_process eng (fun () ->
+      let f1 = Fbufs.get fb ~path:1 in
+      Alcotest.(check bool) "first get cached" true (Fbufs.is_cached f1);
+      let f2 = Fbufs.get fb ~path:1 in
+      Alcotest.(check bool) "pool of 2" true (Fbufs.is_cached f2);
+      let f3 = Fbufs.get fb ~path:1 in
+      Alcotest.(check bool) "pool exhausted: uncached" false
+        (Fbufs.is_cached f3);
+      Fbufs.release fb f1;
+      let f4 = Fbufs.get fb ~path:1 in
+      Alcotest.(check bool) "release replenishes" true (Fbufs.is_cached f4);
+      let st = Fbufs.stats fb in
+      Alcotest.(check int) "cached gets" 3 st.Fbufs.cached_gets;
+      Alcotest.(check int) "uncached gets" 1 st.Fbufs.uncached_gets)
+
+let test_cached_much_faster () =
+  let eng, fb = setup () in
+  in_process eng (fun () ->
+      let c = Fbufs.get fb ~path:1 in
+      let t_cached = Fbufs.transfer fb c ~domains:2 in
+      Fbufs.release fb c;
+      let hold = Fbufs.get fb ~path:1 and hold2 = Fbufs.get fb ~path:1 in
+      let u = Fbufs.get fb ~path:1 in
+      Alcotest.(check bool) "uncached" false (Fbufs.is_cached u);
+      let t_uncached = Fbufs.transfer fb u ~domains:2 in
+      Fbufs.release fb hold;
+      Fbufs.release fb hold2;
+      Fbufs.release fb u;
+      Alcotest.(check bool)
+        (Printf.sprintf "order of magnitude: %d vs %d" t_cached t_uncached)
+        true
+        (t_uncached > 5 * t_cached))
+
+let test_lru_eviction () =
+  let eng, fb = setup ~max_cached_paths:3 () in
+  in_process eng (fun () ->
+      List.iter
+        (fun p ->
+          let f = Fbufs.get fb ~path:p in
+          Fbufs.release fb f)
+        [ 1; 2; 3 ];
+      (* Touch 1 so 2 becomes the LRU, then add a fourth path. *)
+      let f = Fbufs.get fb ~path:1 in
+      Fbufs.release fb f;
+      let f = Fbufs.get fb ~path:4 in
+      Fbufs.release fb f;
+      let cached = Fbufs.cached_paths fb in
+      Alcotest.(check bool) "2 evicted" true (not (List.mem 2 cached));
+      Alcotest.(check bool) "1 kept" true (List.mem 1 cached);
+      Alcotest.(check int) "evictions" 1 (Fbufs.stats fb).Fbufs.evictions)
+
+let test_release_after_eviction () =
+  let eng, fb = setup ~max_cached_paths:1 () in
+  in_process eng (fun () ->
+      let f = Fbufs.get fb ~path:1 in
+      (* Evict path 1's pool while we still hold one of its buffers. *)
+      let g = Fbufs.get fb ~path:2 in
+      Fbufs.release fb g;
+      (* Releasing the orphan must not crash or corrupt the allocator. *)
+      Fbufs.release fb f;
+      let h = Fbufs.get fb ~path:2 in
+      Alcotest.(check bool) "allocator still sane" true (Fbufs.is_cached h))
+
+let suite =
+  [
+    Alcotest.test_case "cached pool hits and exhaustion" `Quick
+      test_cached_pool_hits;
+    Alcotest.test_case "cached ≫ uncached" `Quick test_cached_much_faster;
+    Alcotest.test_case "16-path LRU eviction" `Quick test_lru_eviction;
+    Alcotest.test_case "release after eviction" `Quick
+      test_release_after_eviction;
+  ]

@@ -1,0 +1,24 @@
+(* Aggregate test runner: one alcotest section per library. *)
+
+let () =
+  Alcotest.run "osiris-repro"
+    [
+      ("sim", Test_sim.suite);
+      ("trace", Test_trace.suite);
+      ("util", Test_util.suite);
+      ("mem", Test_mem.suite);
+      ("bus", Test_bus.suite);
+      ("cache", Test_cache.suite);
+      ("atm", Test_atm.suite);
+      ("link", Test_link.suite);
+      ("board", Test_board.suite);
+      ("os", Test_os.suite);
+      ("xkernel", Test_xkernel.suite);
+      ("proto", Test_proto.suite);
+      ("fbufs", Test_fbufs.suite);
+      ("ether", Test_ether.suite);
+      ("core", Test_core.suite);
+      ("adc", Test_adc.suite);
+      ("faults", Test_faults.suite);
+      ("experiments", Test_experiments.suite);
+    ]

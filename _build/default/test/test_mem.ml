@@ -1,0 +1,216 @@
+(* Tests for physical memory, address spaces and physical buffers. *)
+
+open Osiris_mem
+module Rng = Osiris_util.Rng
+
+let mk_mem ?scramble () =
+  Phys_mem.create ?scramble ~size:(1 lsl 20) ~page_size:4096 ()
+
+let test_alloc_free_cycle () =
+  let mem = mk_mem () in
+  let n = Phys_mem.free_frames mem in
+  let a = Phys_mem.alloc_frame mem in
+  let b = Phys_mem.alloc_frame mem in
+  Alcotest.(check bool) "distinct frames" true (a <> b);
+  Alcotest.(check int) "two allocated" (n - 2) (Phys_mem.free_frames mem);
+  Phys_mem.free_frame mem a;
+  Phys_mem.free_frame mem b;
+  Alcotest.(check int) "all returned" n (Phys_mem.free_frames mem)
+
+let test_double_free_rejected () =
+  let mem = mk_mem () in
+  let a = Phys_mem.alloc_frame mem in
+  Phys_mem.free_frame mem a;
+  Alcotest.check_raises "double free"
+    (Invalid_argument "Phys_mem.free_frame: double free") (fun () ->
+      Phys_mem.free_frame mem a)
+
+let test_exhaustion () =
+  let mem = Phys_mem.create ~size:(4 * 4096) ~page_size:4096 () in
+  for _ = 1 to 4 do
+    ignore (Phys_mem.alloc_frame mem)
+  done;
+  Alcotest.check_raises "out of memory" Out_of_memory (fun () ->
+      ignore (Phys_mem.alloc_frame mem))
+
+let test_contiguous_alloc () =
+  let mem = mk_mem () in
+  match Phys_mem.alloc_contiguous mem ~nframes:4 with
+  | None -> Alcotest.fail "empty memory must satisfy contiguous alloc"
+  | Some base ->
+      Alcotest.(check int) "page aligned" 0 (base mod 4096);
+      (* The run must really be allocated: freeing each page works once. *)
+      for i = 0 to 3 do
+        Phys_mem.free_frame mem (base + (i * 4096))
+      done
+
+let test_rw_roundtrip () =
+  let mem = mk_mem () in
+  Phys_mem.write_u32 mem 100 0xDEADBEEFl;
+  Alcotest.(check int32) "u32 roundtrip" 0xDEADBEEFl (Phys_mem.read_u32 mem 100);
+  Phys_mem.write_byte mem 200 0xAB;
+  Alcotest.(check int) "byte roundtrip" 0xAB (Phys_mem.read_byte mem 200)
+
+let test_bounds_checked () =
+  let mem = mk_mem () in
+  Alcotest.(check bool) "oob read raises" true
+    (try
+       ignore (Phys_mem.read_byte mem (1 lsl 20));
+       false
+     with Invalid_argument _ -> true)
+
+(* Pbuf properties. *)
+
+let pbuf_split_preserves =
+  QCheck.Test.make ~name:"pbuf: split preserves extent" ~count:200
+    QCheck.(pair (int_range 0 10000) (int_range 2 5000))
+    (fun (addr, len) ->
+      let b = Pbuf.v ~addr ~len in
+      let at = 1 + (addr mod (len - 1)) in
+      let x, y = Pbuf.split b ~at in
+      x.Pbuf.addr = addr && x.Pbuf.len = at
+      && y.Pbuf.addr = addr + at
+      && x.Pbuf.len + y.Pbuf.len = len)
+
+let pbuf_coalesce_inverse_of_split =
+  QCheck.Test.make ~name:"pbuf: coalesce undoes split" ~count:200
+    QCheck.(pair (int_range 0 10000) (int_range 2 5000))
+    (fun (addr, len) ->
+      let b = Pbuf.v ~addr ~len in
+      let at = 1 + (addr mod (len - 1)) in
+      let x, y = Pbuf.split b ~at in
+      match Pbuf.coalesce [ x; y ] with
+      | [ c ] -> Pbuf.equal c b
+      | _ -> false)
+
+let test_coalesce_non_adjacent () =
+  let a = Pbuf.v ~addr:0 ~len:10 and b = Pbuf.v ~addr:20 ~len:10 in
+  Alcotest.(check int) "gap not merged" 2 (List.length (Pbuf.coalesce [ a; b ]))
+
+(* Vspace: the §2.2 facts. *)
+
+let test_vspace_translate_roundtrip () =
+  let mem = mk_mem () in
+  let vs = Vspace.create mem in
+  let v = Vspace.alloc vs ~len:10000 in
+  (* Write through virtual translation, read back. *)
+  let pa = Vspace.translate vs (v + 5000) in
+  Phys_mem.write_byte mem pa 0x7e;
+  Alcotest.(check int) "translated access" 0x7e
+    (Phys_mem.read_byte mem (Vspace.translate vs (v + 5000)))
+
+let test_vspace_scrambled_fragmentation () =
+  (* With a scrambled allocator, a 4-page region decomposes into (almost
+     certainly) 4 physical buffers; paper §2.2. *)
+  let mem = mk_mem ~scramble:(Rng.create ~seed:5) () in
+  let vs = Vspace.create mem in
+  let v = Vspace.alloc vs ~len:(4 * 4096) in
+  let bufs = Vspace.phys_buffers vs ~vaddr:v ~len:(4 * 4096) in
+  Alcotest.(check bool) "fragmented" true (List.length bufs >= 3);
+  Alcotest.(check int) "extent preserved" (4 * 4096) (Pbuf.total_len bufs)
+
+let test_vspace_sequential_is_contiguous () =
+  (* Without scrambling, frames come out in order and coalesce. *)
+  let mem = mk_mem () in
+  let vs = Vspace.create mem in
+  let v = Vspace.alloc vs ~len:(4 * 4096) in
+  let bufs = Vspace.phys_buffers vs ~vaddr:v ~len:(4 * 4096) in
+  Alcotest.(check int) "one physical buffer" 1 (List.length bufs)
+
+let test_vspace_contiguous_alloc () =
+  let mem = mk_mem ~scramble:(Rng.create ~seed:5) () in
+  let vs = Vspace.create mem in
+  match Vspace.alloc_contiguous vs ~len:(4 * 4096) with
+  | None -> Alcotest.fail "contiguous alloc must succeed on fresh memory"
+  | Some v ->
+      let bufs = Vspace.phys_buffers vs ~vaddr:v ~len:(4 * 4096) in
+      Alcotest.(check int) "one physical buffer" 1 (List.length bufs)
+
+let test_vspace_offset_alloc () =
+  let mem = mk_mem () in
+  let vs = Vspace.create mem in
+  let v = Vspace.alloc_offset vs ~len:100 ~offset:256 in
+  Alcotest.(check int) "offset honoured" 256 (v mod 4096)
+
+let test_vspace_free_returns_frames () =
+  let mem = mk_mem () in
+  let vs = Vspace.create mem in
+  let before = Phys_mem.free_frames mem in
+  let v = Vspace.alloc vs ~len:(8 * 4096) in
+  Alcotest.(check int) "frames taken" (before - 8) (Phys_mem.free_frames mem);
+  Vspace.free vs v;
+  Alcotest.(check int) "frames back" before (Phys_mem.free_frames mem)
+
+let test_page_fault () =
+  let mem = mk_mem () in
+  let vs = Vspace.create mem in
+  Alcotest.(check bool) "unmapped faults" true
+    (try
+       ignore (Vspace.translate vs 12345);
+       false
+     with Vspace.Page_fault _ -> true)
+
+let test_wiring_counts () =
+  let mem = mk_mem () in
+  let vs = Vspace.create mem in
+  let v = Vspace.alloc vs ~len:(3 * 4096) in
+  Vspace.wire vs ~vaddr:v ~len:(3 * 4096);
+  Alcotest.(check int) "three wired" 3 (Vspace.wired_pages vs);
+  Vspace.wire vs ~vaddr:v ~len:4096;
+  Alcotest.(check int) "recount not double" 3 (Vspace.wired_pages vs);
+  Vspace.unwire vs ~vaddr:v ~len:4096;
+  Alcotest.(check bool) "still wired once" true (Vspace.is_wired vs ~vaddr:v);
+  Vspace.unwire vs ~vaddr:v ~len:(3 * 4096);
+  Alcotest.(check int) "all unwired" 0 (Vspace.wired_pages vs)
+
+let test_sg_map_loads_accumulate () =
+  let sg = Sg_map.create ~slots:16 ~page_size:4096 in
+  ignore (Sg_map.program sg [ Pbuf.v ~addr:0 ~len:8192 ]);
+  ignore (Sg_map.program sg [ Pbuf.v ~addr:16384 ~len:4096 ]);
+  Alcotest.(check int) "loads accumulate across transfers" 3 (Sg_map.loads sg);
+  Sg_map.clear sg;
+  Alcotest.(check bool) "cleared map rejects lookups" true
+    (try ignore (Sg_map.translate sg 0); false
+     with Invalid_argument _ -> true)
+
+let test_sg_map () =
+  let sg = Sg_map.create ~slots:8 ~page_size:4096 in
+  let bufs = [ Pbuf.v ~addr:40960 ~len:4096; Pbuf.v ~addr:8192 ~len:4096 ] in
+  (match Sg_map.program sg bufs with
+  | None -> Alcotest.fail "two buffers fit eight slots"
+  | Some base ->
+      Alcotest.(check int) "first page maps" 40960
+        (Sg_map.translate sg (base + 0));
+      Alcotest.(check int) "second page maps" (8192 + 100)
+        (Sg_map.translate sg (base + 4096 + 100)));
+  Alcotest.(check int) "loads counted" 2 (Sg_map.loads sg);
+  let big = List.init 9 (fun i -> Pbuf.v ~addr:(i * 4096) ~len:4096) in
+  Alcotest.(check bool) "overflow rejected" true (Sg_map.program sg big = None)
+
+let suite =
+  [
+    Alcotest.test_case "phys_mem: alloc/free" `Quick test_alloc_free_cycle;
+    Alcotest.test_case "phys_mem: double free" `Quick test_double_free_rejected;
+    Alcotest.test_case "phys_mem: exhaustion" `Quick test_exhaustion;
+    Alcotest.test_case "phys_mem: contiguous" `Quick test_contiguous_alloc;
+    Alcotest.test_case "phys_mem: read/write" `Quick test_rw_roundtrip;
+    Alcotest.test_case "phys_mem: bounds" `Quick test_bounds_checked;
+    QCheck_alcotest.to_alcotest pbuf_split_preserves;
+    QCheck_alcotest.to_alcotest pbuf_coalesce_inverse_of_split;
+    Alcotest.test_case "pbuf: gaps stay split" `Quick test_coalesce_non_adjacent;
+    Alcotest.test_case "vspace: translate" `Quick test_vspace_translate_roundtrip;
+    Alcotest.test_case "vspace: scrambled frames fragment" `Quick
+      test_vspace_scrambled_fragmentation;
+    Alcotest.test_case "vspace: sequential frames coalesce" `Quick
+      test_vspace_sequential_is_contiguous;
+    Alcotest.test_case "vspace: contiguous alloc" `Quick
+      test_vspace_contiguous_alloc;
+    Alcotest.test_case "vspace: offset alloc" `Quick test_vspace_offset_alloc;
+    Alcotest.test_case "vspace: free returns frames" `Quick
+      test_vspace_free_returns_frames;
+    Alcotest.test_case "vspace: page fault" `Quick test_page_fault;
+    Alcotest.test_case "vspace: wiring counts" `Quick test_wiring_counts;
+    Alcotest.test_case "sg_map: program/translate" `Quick test_sg_map;
+    Alcotest.test_case "sg_map: load accounting" `Quick
+      test_sg_map_loads_accumulate;
+  ]

@@ -1,0 +1,267 @@
+(* Tests for the discrete-event engine and its process layer. *)
+
+open Osiris_sim
+
+let check = Alcotest.(check int)
+
+let test_engine_ordering () =
+  let eng = Engine.create () in
+  let log = ref [] in
+  let record tag () = log := tag :: !log in
+  ignore (Engine.schedule eng ~delay:30 (record 3));
+  ignore (Engine.schedule eng ~delay:10 (record 1));
+  ignore (Engine.schedule eng ~delay:20 (record 2));
+  Engine.run eng;
+  Alcotest.(check (list int)) "timestamp order" [ 1; 2; 3 ] (List.rev !log);
+  check "clock at last event" 30 (Engine.now eng)
+
+let test_engine_fifo_same_time () =
+  let eng = Engine.create () in
+  let log = ref [] in
+  for i = 1 to 5 do
+    ignore (Engine.schedule eng ~delay:7 (fun () -> log := i :: !log))
+  done;
+  Engine.run eng;
+  Alcotest.(check (list int)) "same-instant FIFO" [ 1; 2; 3; 4; 5 ]
+    (List.rev !log)
+
+let test_engine_cancel () =
+  let eng = Engine.create () in
+  let fired = ref false in
+  let h = Engine.schedule eng ~delay:5 (fun () -> fired := true) in
+  Engine.cancel h;
+  Engine.run eng;
+  Alcotest.(check bool) "cancelled event silent" false !fired
+
+let test_engine_until () =
+  let eng = Engine.create () in
+  let count = ref 0 in
+  let rec tick () =
+    incr count;
+    ignore (Engine.schedule eng ~delay:10 tick)
+  in
+  ignore (Engine.schedule eng ~delay:10 tick);
+  Engine.run ~until:100 eng;
+  check "bounded run" 10 !count;
+  check "clock clamped to horizon" 100 (Engine.now eng)
+
+let test_engine_stop () =
+  let eng = Engine.create () in
+  let count = ref 0 in
+  for _ = 1 to 10 do
+    ignore
+      (Engine.schedule eng ~delay:1 (fun () ->
+           incr count;
+           if !count = 3 then Engine.stop eng))
+  done;
+  Engine.run eng;
+  check "stopped after third" 3 !count
+
+let test_schedule_past_rejected () =
+  let eng = Engine.create () in
+  ignore (Engine.schedule eng ~delay:10 (fun () -> ()));
+  ignore (Engine.step eng);
+  Alcotest.check_raises "past time" (Invalid_argument
+    "Engine.schedule_at: time 5 is in the past (now 10)")
+    (fun () -> ignore (Engine.schedule_at eng ~time:5 (fun () -> ())))
+
+let test_process_sleep () =
+  let eng = Engine.create () in
+  let log = ref [] in
+  Process.spawn eng ~name:"p" (fun () ->
+      log := Engine.now eng :: !log;
+      Process.sleep eng 100;
+      log := Engine.now eng :: !log;
+      Process.sleep eng 50;
+      log := Engine.now eng :: !log);
+  Engine.run eng;
+  Alcotest.(check (list int)) "sleep advances time" [ 0; 100; 150 ]
+    (List.rev !log)
+
+let test_process_exception_named () =
+  let eng = Engine.create () in
+  Process.spawn eng ~name:"boom" (fun () -> failwith "bang");
+  Alcotest.check_raises "process failure surfaces"
+    (Process.Process_failure ("boom", Failure "bang"))
+    (fun () -> Engine.run eng)
+
+let test_not_in_process () =
+  let eng = Engine.create () in
+  Alcotest.check_raises "sleep outside process" Process.Not_in_process
+    (fun () -> Process.sleep eng 5)
+
+let test_mailbox_fifo () =
+  let eng = Engine.create () in
+  let mb = Mailbox.create eng () in
+  let got = ref [] in
+  Process.spawn eng ~name:"rx" (fun () ->
+      for _ = 1 to 3 do
+        got := Mailbox.recv mb :: !got
+      done);
+  Process.spawn eng ~name:"tx" (fun () ->
+      List.iter (fun v -> Mailbox.send mb v) [ 1; 2; 3 ]);
+  Engine.run eng;
+  Alcotest.(check (list int)) "FIFO" [ 1; 2; 3 ] (List.rev !got)
+
+let test_mailbox_capacity_blocks () =
+  let eng = Engine.create () in
+  let mb = Mailbox.create eng ~capacity:2 () in
+  let sent = ref 0 in
+  Process.spawn eng ~name:"tx" (fun () ->
+      for i = 1 to 4 do
+        Mailbox.send mb i;
+        sent := i
+      done);
+  Process.spawn eng ~name:"rx" (fun () ->
+      Process.sleep eng 100;
+      ignore (Mailbox.recv mb);
+      Process.sleep eng 100;
+      ignore (Mailbox.recv mb));
+  Engine.run ~until:50 eng;
+  check "sender blocked at capacity" 2 !sent;
+  Engine.run ~until:250 eng;
+  check "sender progressed per receive" 4 !sent
+
+let test_mailbox_try_ops () =
+  let eng = Engine.create () in
+  let mb = Mailbox.create eng ~capacity:1 () in
+  Alcotest.(check bool) "send into empty" true (Mailbox.try_send mb 1);
+  Alcotest.(check bool) "send into full" false (Mailbox.try_send mb 2);
+  Alcotest.(check (option int)) "recv" (Some 1) (Mailbox.try_recv mb);
+  Alcotest.(check (option int)) "recv empty" None (Mailbox.try_recv mb)
+
+let test_resource_mutual_exclusion () =
+  let eng = Engine.create () in
+  let res = Resource.create eng ~capacity:1 in
+  let active = ref 0 and max_active = ref 0 in
+  for _ = 1 to 5 do
+    Process.spawn eng ~name:"u" (fun () ->
+        Resource.acquire res;
+        incr active;
+        if !active > !max_active then max_active := !active;
+        Process.sleep eng 10;
+        decr active;
+        Resource.release res)
+  done;
+  Engine.run eng;
+  check "never concurrent" 1 !max_active;
+  check "all served, serialized" 50 (Engine.now eng)
+
+let test_resource_priority () =
+  let eng = Engine.create () in
+  let res = Resource.create eng ~capacity:1 in
+  let order = ref [] in
+  Process.spawn eng ~name:"holder" (fun () ->
+      Resource.acquire res;
+      Process.sleep eng 100;
+      Resource.release res);
+  Process.spawn eng ~name:"low" (fun () ->
+      Process.sleep eng 1;
+      Resource.acquire ~priority:10 res;
+      order := "low" :: !order;
+      Resource.release res);
+  Process.spawn eng ~name:"high" (fun () ->
+      Process.sleep eng 2;
+      Resource.acquire ~priority:0 res;
+      order := "high" :: !order;
+      Resource.release res);
+  Engine.run eng;
+  Alcotest.(check (list string)) "priority served first" [ "high"; "low" ]
+    (List.rev !order)
+
+let test_resource_utilization () =
+  let eng = Engine.create () in
+  let res = Resource.create eng ~capacity:1 in
+  Process.spawn eng ~name:"u" (fun () ->
+      Resource.use res ~duration:40;
+      Process.sleep eng 60;
+      Resource.use res ~duration:20);
+  Engine.run eng;
+  let st = Resource.stats res in
+  check "busy time" 60 st.Resource.busy_time;
+  check "acquisitions" 2 st.Resource.acquisitions
+
+let test_signal_broadcast () =
+  let eng = Engine.create () in
+  let s = Signal.create eng in
+  let woken = ref 0 in
+  for _ = 1 to 3 do
+    Process.spawn eng ~name:"w" (fun () ->
+        Signal.wait s;
+        incr woken)
+  done;
+  Process.spawn eng ~name:"b" (fun () ->
+      Process.sleep eng 10;
+      Signal.broadcast s);
+  Engine.run eng;
+  check "all woken" 3 !woken
+
+let test_determinism () =
+  let run () =
+    let eng = Engine.create () in
+    let trace = Buffer.create 64 in
+    let mb = Mailbox.create eng ~capacity:3 () in
+    for p = 1 to 3 do
+      Process.spawn eng ~name:"p" (fun () ->
+          for i = 1 to 5 do
+            Mailbox.send mb ((p * 10) + i);
+            Process.sleep eng p
+          done)
+    done;
+    Process.spawn eng ~name:"c" (fun () ->
+        for _ = 1 to 15 do
+          Buffer.add_string trace (string_of_int (Mailbox.recv mb));
+          Buffer.add_char trace ' ';
+          Process.sleep eng 2
+        done);
+    Engine.run eng;
+    Buffer.contents trace
+  in
+  Alcotest.(check string) "identical traces" (run ()) (run ())
+
+(* Heap property: popping returns keys in nondecreasing order. *)
+let heap_prop =
+  QCheck.Test.make ~name:"heap pops sorted" ~count:200
+    QCheck.(list (pair small_nat small_nat))
+    (fun entries ->
+      let h = Heap.create () in
+      List.iteri (fun i (k, v) -> Heap.add h ~key:k ~seq:i v) entries;
+      let rec drain last acc =
+        match Heap.pop_min h with
+        | None -> List.rev acc
+        | Some (k, _, v) ->
+            if k < last then raise Exit;
+            drain k (v :: acc)
+      in
+      let popped = try drain min_int [] with Exit -> [] in
+      List.length popped = List.length entries)
+
+let suite =
+  [
+    Alcotest.test_case "engine: timestamp order" `Quick test_engine_ordering;
+    Alcotest.test_case "engine: same-instant FIFO" `Quick
+      test_engine_fifo_same_time;
+    Alcotest.test_case "engine: cancel" `Quick test_engine_cancel;
+    Alcotest.test_case "engine: bounded run" `Quick test_engine_until;
+    Alcotest.test_case "engine: stop" `Quick test_engine_stop;
+    Alcotest.test_case "engine: no scheduling in the past" `Quick
+      test_schedule_past_rejected;
+    Alcotest.test_case "process: sleep" `Quick test_process_sleep;
+    Alcotest.test_case "process: named failure" `Quick
+      test_process_exception_named;
+    Alcotest.test_case "process: blocking outside process" `Quick
+      test_not_in_process;
+    Alcotest.test_case "mailbox: FIFO" `Quick test_mailbox_fifo;
+    Alcotest.test_case "mailbox: capacity blocks sender" `Quick
+      test_mailbox_capacity_blocks;
+    Alcotest.test_case "mailbox: try operations" `Quick test_mailbox_try_ops;
+    Alcotest.test_case "resource: mutual exclusion" `Quick
+      test_resource_mutual_exclusion;
+    Alcotest.test_case "resource: priority" `Quick test_resource_priority;
+    Alcotest.test_case "resource: utilization stats" `Quick
+      test_resource_utilization;
+    Alcotest.test_case "signal: broadcast wakes all" `Quick
+      test_signal_broadcast;
+    Alcotest.test_case "whole-sim determinism" `Quick test_determinism;
+    QCheck_alcotest.to_alcotest heap_prop;
+  ]

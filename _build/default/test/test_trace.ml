@@ -1,0 +1,32 @@
+(* Tests for the trace facility. *)
+
+module Trace = Osiris_sim.Trace
+
+let test_enable_disable () =
+  Trace.disable Trace.Driver;
+  Alcotest.(check bool) "off by default" false (Trace.enabled Trace.Driver);
+  Trace.enable Trace.Driver;
+  Alcotest.(check bool) "on after enable" true (Trace.enabled Trace.Driver);
+  Trace.disable Trace.Driver;
+  Alcotest.(check bool) "off after disable" false (Trace.enabled Trace.Driver)
+
+let test_emit_disabled_is_cheap () =
+  Trace.disable Trace.Link;
+  (* Must not raise and must not evaluate into visible output. *)
+  Trace.emitf Trace.Link ~now:0 "never shown %d" 42;
+  Trace.emit Trace.Link ~now:0 "never shown"
+
+let test_category_names () =
+  List.iter
+    (fun (c, n) -> Alcotest.(check string) "name" n (Trace.category_name c))
+    [ (Trace.Board_tx, "board-tx"); (Trace.Board_rx, "board-rx");
+      (Trace.Driver, "driver"); (Trace.Protocol, "protocol");
+      (Trace.Link, "link") ]
+
+let suite =
+  [
+    Alcotest.test_case "enable/disable" `Quick test_enable_disable;
+    Alcotest.test_case "disabled emit is silent" `Quick
+      test_emit_disabled_is_cheap;
+    Alcotest.test_case "category names" `Quick test_category_names;
+  ]
