@@ -5,6 +5,11 @@
    both the reproduction and the implementation's own performance are
    exercised by `dune exec bench/main.exe`.
 
+   Every mode except `list` additionally writes the whole run — experiment
+   tables/figures, micro-benchmark estimates and a final metrics snapshot —
+   as a machine-readable BENCH.json (path overridable with
+   OSIRIS_BENCH_JSON).
+
    Usage:
      dune exec bench/main.exe            # everything (slow: full figures)
      dune exec bench/main.exe quick      # tables + ablations only
@@ -14,6 +19,8 @@
 open Bechamel
 open Toolkit
 module Registry = Osiris_experiments.Registry
+module Report = Osiris_experiments.Report
+module Json = Osiris_obs.Json
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks of the hot paths underneath each result.  *)
@@ -56,7 +63,7 @@ module Micro = struct
            let q =
              Desc_queue.create eng ~size:64
                ~direction:Desc_queue.Host_to_board
-               ~locking:Desc_queue.Lock_free ~hooks:Desc_queue.free_hooks
+               ~locking:Desc_queue.Lock_free ~hooks:Desc_queue.free_hooks ()
            in
            Process.spawn eng ~name:"b" (fun () ->
                for i = 1 to 32 do
@@ -119,6 +126,7 @@ module Micro = struct
       [ bench_engine; bench_sar; bench_queue; bench_checksum; bench_crc;
         bench_cell; bench_pbufs; bench_ip_frag ]
 
+  (* Print the estimates and return them as [(name, ns_per_run)]. *)
   let run () =
     let ols =
       Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
@@ -133,36 +141,67 @@ module Micro = struct
       (String.make 72 '-') (String.make 72 '-');
     Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results []
     |> List.sort compare
-    |> List.iter (fun (name, ols) ->
+    |> List.map (fun (name, ols) ->
            match Analyze.OLS.estimates ols with
-           | Some (t :: _) -> Printf.printf "%-40s %12.1f ns/run\n" name t
-           | _ -> Printf.printf "%-40s %12s\n" name "n/a")
+           | Some (t :: _) ->
+               Printf.printf "%-40s %12.1f ns/run\n" name t;
+               (name, Some t)
+           | _ ->
+               Printf.printf "%-40s %12s\n" name "n/a";
+               (name, None))
 end
 
+(* Run, print, and collect each experiment's result for BENCH.json. *)
 let run_reproduction entries =
-  List.iter
+  List.map
     (fun (e : Registry.entry) ->
       Printf.printf "\n### %s — %s\n%!" e.Registry.id e.Registry.description;
-      Registry.run e)
+      let r = Registry.eval e in
+      Registry.print_result r;
+      (e.Registry.id, e.Registry.description, Registry.result_json r))
     entries
 
+let write_bench_json ~mode ~experiments ~micro =
+  let path =
+    match Sys.getenv_opt "OSIRIS_BENCH_JSON" with
+    | Some p when p <> "" -> p
+    | _ -> "BENCH.json"
+  in
+  let doc = Report.bench_json ~mode ~experiments ~micro in
+  match open_out path with
+  | oc ->
+      Json.to_channel oc doc;
+      output_char oc '\n';
+      close_out oc;
+      Printf.printf "\nwrote %s\n" path
+  | exception Sys_error e ->
+      Printf.eprintf "cannot write BENCH.json: %s\n" e;
+      exit 1
+
 let () =
-  match if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" with
+  let mode = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
+  match mode with
   | "list" ->
       List.iter
         (fun (e : Registry.entry) ->
           Printf.printf "%-24s %s\n" e.Registry.id e.Registry.description)
         Registry.all
-  | "micro" -> Micro.run ()
+  | "micro" ->
+      let micro = Micro.run () in
+      write_bench_json ~mode ~experiments:[] ~micro
   | "quick" ->
-      run_reproduction Registry.quick;
-      Micro.run ()
+      let experiments = run_reproduction Registry.quick in
+      let micro = Micro.run () in
+      write_bench_json ~mode ~experiments ~micro
   | "all" ->
-      run_reproduction Registry.all;
-      Micro.run ()
+      let experiments = run_reproduction Registry.all in
+      let micro = Micro.run () in
+      write_bench_json ~mode ~experiments ~micro
   | id -> (
       match Registry.find id with
-      | Some e -> Registry.run e
+      | Some e ->
+          let experiments = run_reproduction [ e ] in
+          write_bench_json ~mode ~experiments ~micro:[]
       | None ->
           Printf.eprintf "unknown experiment %S; try `list`\n" id;
           exit 1)

@@ -1,4 +1,5 @@
 module Crc32 = Osiris_util.Crc32
+module Metrics = Osiris_obs.Metrics
 
 type strategy = In_order | Seq_number | Per_link of int
 
@@ -181,8 +182,22 @@ let push_per_link t ~link (cell : Cell.t) =
     else Placed placement
   end
 
+(* Reassembly is per-VC, with many short-lived instances; account at the
+   module level rather than per instance. *)
+let m_cells_pushed = Metrics.counter "sar.cells_pushed"
+let m_pdus_completed = Metrics.counter "sar.pdus_completed"
+let m_rejects = Metrics.counter "sar.rejects"
+
 let push t ~link cell =
-  match t.strategy with
-  | In_order -> push_in_order t cell
-  | Seq_number -> push_seq t cell
-  | Per_link _ -> push_per_link t ~link cell
+  Metrics.incr m_cells_pushed;
+  let outcome =
+    match t.strategy with
+    | In_order -> push_in_order t cell
+    | Seq_number -> push_seq t cell
+    | Per_link _ -> push_per_link t ~link cell
+  in
+  (match outcome with
+  | Completed _ -> Metrics.incr m_pdus_completed
+  | Rejected _ -> Metrics.incr m_rejects
+  | Placed _ -> ());
+  outcome

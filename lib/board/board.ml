@@ -1,5 +1,7 @@
 open Osiris_sim
 module Trace = Osiris_sim.Trace
+module Metrics = Osiris_obs.Metrics
+module Hist = Osiris_util.Stats.Histogram
 module Cell = Osiris_atm.Cell
 module Atm_link = Osiris_link.Atm_link
 module Sar = Osiris_atm.Sar
@@ -77,6 +79,43 @@ type stats = {
   mutable unknown_vci_cells : int;
 }
 
+(* Registry handles behind [stats]; [stats t] snapshots them. *)
+type m = {
+  m_cells_sent : Metrics.counter;
+  m_cells_received : Metrics.counter;
+  m_pdus_sent : Metrics.counter;
+  m_pdus_received : Metrics.counter;
+  m_dma_tx : Metrics.counter;
+  m_dma_rx : Metrics.counter;
+  m_combined_dmas : Metrics.counter;
+  m_boundary_splits : Metrics.counter;
+  m_pdus_dropped_no_buffer : Metrics.counter;
+  m_cells_dropped : Metrics.counter;
+  m_reassembly_errors : Metrics.counter;
+  m_protection_faults : Metrics.counter;
+  m_unknown_vci_cells : Metrics.counter;
+  m_dma_bytes : Hist.h;  (** sizes of actual receive bus transactions *)
+}
+
+let make_board_metrics () =
+  {
+    m_cells_sent = Metrics.counter "board.tx.cells_sent";
+    m_cells_received = Metrics.counter "board.rx.cells_received";
+    m_pdus_sent = Metrics.counter "board.tx.pdus_sent";
+    m_pdus_received = Metrics.counter "board.rx.pdus_received";
+    m_dma_tx = Metrics.counter "board.tx.dma_transactions";
+    m_dma_rx = Metrics.counter "board.rx.dma_transactions";
+    m_combined_dmas = Metrics.counter "board.rx.combined_dmas";
+    m_boundary_splits = Metrics.counter "board.dma.boundary_splits";
+    m_pdus_dropped_no_buffer = Metrics.counter "board.rx.pdus_dropped_no_buffer";
+    m_cells_dropped = Metrics.counter "board.rx.cells_dropped";
+    m_reassembly_errors = Metrics.counter "board.rx.reassembly_errors";
+    m_protection_faults = Metrics.counter "board.tx.protection_faults";
+    m_unknown_vci_cells = Metrics.counter "board.rx.unknown_vci_cells";
+    m_dma_bytes =
+      Metrics.histogram "board.rx.dma_span_bytes" ~lo:0. ~hi:128. ~buckets:16;
+  }
+
 type tx_pdu = {
   cells : Cell.t array;
   data_len : int;
@@ -149,7 +188,7 @@ type t = {
   pending_cells : (int * Cell.t) Queue.t;
   mutable rr_cursor : int;
   mutable started : bool;
-  stats : stats;
+  m : m;
 }
 
 let i960_time t cycles =
@@ -170,15 +209,15 @@ let make_hooks eng bus cfg =
 
 let make_channel eng bus cfg id =
   let hooks = make_hooks eng bus cfg in
-  let mk direction =
-    Desc_queue.create eng ~size:cfg.queue_size ~direction ~locking:cfg.locking
-      ~hooks
+  let mk metrics_prefix direction =
+    Desc_queue.create eng ~metrics_prefix ~size:cfg.queue_size ~direction
+      ~locking:cfg.locking ~hooks ()
   in
   {
     id;
-    tx_q = mk Desc_queue.Host_to_board;
-    free_q = mk Desc_queue.Host_to_board;
-    rx_q = mk Desc_queue.Board_to_host;
+    tx_q = mk "board.txq" Desc_queue.Host_to_board;
+    free_q = mk "board.freeq" Desc_queue.Host_to_board;
+    rx_q = mk "board.rxq" Desc_queue.Board_to_host;
     priority = if id = 0 then 0 else 1;
     allowed = None;
     txst = None;
@@ -210,29 +249,30 @@ let create eng ~bus ~mem ~on_interrupt ?(on_dma_write = fun ~addr:_ ~len:_ -> ()
       pending_cells = Queue.create ();
       rr_cursor = 0;
       started = false;
-      stats =
-        {
-          cells_sent = 0;
-          cells_received = 0;
-          pdus_sent = 0;
-          pdus_received = 0;
-          dma_tx_transactions = 0;
-          dma_rx_transactions = 0;
-          combined_dmas = 0;
-          boundary_splits = 0;
-          pdus_dropped_no_buffer = 0;
-          cells_dropped = 0;
-          reassembly_errors = 0;
-          protection_faults = 0;
-          unknown_vci_cells = 0;
-        };
+      m = make_board_metrics ();
     }
   in
   t
 
 let config t = t.cfg
 let engine t = t.eng
-let stats t = t.stats
+
+let stats t : stats =
+  {
+    cells_sent = Metrics.counter_value t.m.m_cells_sent;
+    cells_received = Metrics.counter_value t.m.m_cells_received;
+    pdus_sent = Metrics.counter_value t.m.m_pdus_sent;
+    pdus_received = Metrics.counter_value t.m.m_pdus_received;
+    dma_tx_transactions = Metrics.counter_value t.m.m_dma_tx;
+    dma_rx_transactions = Metrics.counter_value t.m.m_dma_rx;
+    combined_dmas = Metrics.counter_value t.m.m_combined_dmas;
+    boundary_splits = Metrics.counter_value t.m.m_boundary_splits;
+    pdus_dropped_no_buffer = Metrics.counter_value t.m.m_pdus_dropped_no_buffer;
+    cells_dropped = Metrics.counter_value t.m.m_cells_dropped;
+    reassembly_errors = Metrics.counter_value t.m.m_reassembly_errors;
+    protection_faults = Metrics.counter_value t.m.m_protection_faults;
+    unknown_vci_cells = Metrics.counter_value t.m.m_unknown_vci_cells;
+  }
 
 let kernel_channel t = t.channels.(0)
 
@@ -340,7 +380,7 @@ let validate_chain t ch chain =
       in
       let all_ok = List.for_all ok chain in
       if not all_ok then begin
-        t.stats.protection_faults <- t.stats.protection_faults + 1;
+        Metrics.incr t.m.m_protection_faults;
         t.on_interrupt (Protection_violation ch.id)
       end;
       all_ok
@@ -424,7 +464,7 @@ let finish_pdu t ch (pdu : tx_pdu) () =
      reading slots beyond its chain, which would assemble garbage. *)
   ch.peek_ahead <- ch.peek_ahead - pdu.nchain;
   Desc_queue.board_advance ch.tx_q pdu.nchain;
-  t.stats.pdus_sent <- t.stats.pdus_sent + 1;
+  Metrics.incr t.m.m_pdus_sent;
   (* A transmit-processor scan can race this completion (board_advance
      sleeps for its dual-port accesses while peek_ahead is still stale);
      kick it so such a scan is retried with consistent state. *)
@@ -469,14 +509,14 @@ let tx_dma_engine t () =
   let rec loop () =
     let cmd = Mailbox.recv t.tx_fetch_q in
     let nspans = List.length cmd.f_spans in
-    t.stats.dma_tx_transactions <- t.stats.dma_tx_transactions + nspans;
+    Metrics.add t.m.m_dma_tx nspans;
     if nspans > 1 then
-      t.stats.boundary_splits <- t.stats.boundary_splits + (nspans - 1);
+      Metrics.add t.m.m_boundary_splits (nspans - 1);
     List.iter (fun (_addr, len) -> Tc.dma_read t.bus ~bytes:len) cmd.f_spans;
     List.iter
       (fun cell ->
         Mailbox.send t.tx_out cell;
-        t.stats.cells_sent <- t.stats.cells_sent + 1)
+        Metrics.incr t.m.m_cells_sent)
       cmd.f_cells;
     (match cmd.f_done with Some f -> f () | None -> ());
     loop ()
@@ -591,8 +631,7 @@ let deliver_desc t vc ch desc =
   else begin
     (* Receive-queue overflow: the host is hopelessly behind. The data (or
        abort marker) is lost; a real buffer returns to the VC's pool. *)
-    t.stats.cells_dropped <-
-      t.stats.cells_dropped + (desc.Desc.len / Cell.data_size);
+    Metrics.add t.m.m_cells_dropped (desc.Desc.len / Cell.data_size);
     if desc.Desc.len > 0 && vc.buf_size > 0 then
       Queue.add (Desc.v ~addr:desc.Desc.addr ~len:vc.buf_size ()) vc.fbufs
   end
@@ -624,7 +663,7 @@ let collect_posts t vc ~completed_total =
         | _ -> continue := false
       done
   | Some total ->
-      t.stats.pdus_received <- t.stats.pdus_received + 1;
+      Metrics.incr t.m.m_pdus_received;
       let bs = vc.buf_size in
       let nbufs = if bs = 0 then 0 else (total + bs - 1) / bs in
       for idx = vc.next_post to nbufs - 1 do
@@ -691,7 +730,7 @@ let dma_cmd_of_placement t vc (p : Sar.placement) ~completed_total =
 let release_stash t vc = Queue.transfer vc.stash t.pending_cells
 
 let drop_pdu t vc =
-  t.stats.pdus_dropped_no_buffer <- t.stats.pdus_dropped_no_buffer + 1;
+  Metrics.incr t.m.m_pdus_dropped_no_buffer;
   let partially_posted = vc.next_post > 0 in
   recycle_buffers vc;
   reset_vc vc;
@@ -706,15 +745,15 @@ let drop_pdu t vc =
 (* Process one received cell: reassembly decision plus DMA submission.
    Returns the placement when a further cell could be combined with it. *)
 let rx_handle_cell t (link, cell) =
-  t.stats.cells_received <- t.stats.cells_received + 1;
+  Metrics.incr t.m.m_cells_received;
   i960_work t t.cfg.rx_cycles_per_cell;
   match Hashtbl.find_opt t.vcs cell.Cell.vci with
   | None ->
-      t.stats.unknown_vci_cells <- t.stats.unknown_vci_cells + 1;
+      Metrics.incr t.m.m_unknown_vci_cells;
       None
   | Some vc ->
       if vc.dropping then begin
-        t.stats.cells_dropped <- t.stats.cells_dropped + 1;
+        Metrics.incr t.m.m_cells_dropped;
         if cell.Cell.last_of_pdu then vc.dropping <- false;
         None
       end
@@ -724,7 +763,7 @@ let rx_handle_cell t (link, cell) =
              were lost on the wire. Abandon it so the VC cannot wedge. *)
           Trace.emitf Trace.Board_rx ~now:(Engine.now t.eng)
             "abandon incomplete PDU vci=%d (lost cells)" cell.Cell.vci;
-          t.stats.reassembly_errors <- t.stats.reassembly_errors + 1;
+          Metrics.incr t.m.m_reassembly_errors;
           let partially_posted = vc.next_post > 0 in
           recycle_buffers vc;
           reset_vc vc;
@@ -752,8 +791,8 @@ let rx_handle_cell t (link, cell) =
             Trace.emitf Trace.Board_rx ~now:(Engine.now t.eng)
               "reject vci=%d seq=%d link=%d: %s" cell.Cell.vci cell.Cell.seq
               link reason;
-            t.stats.reassembly_errors <- t.stats.reassembly_errors + 1;
-            t.stats.cells_dropped <- t.stats.cells_dropped + 1;
+            Metrics.incr t.m.m_reassembly_errors;
+            Metrics.incr t.m.m_cells_dropped;
             let partially_posted = vc.next_post > 0 in
             recycle_buffers vc;
             reset_vc vc;
@@ -793,11 +832,9 @@ let combinable (cmd1 : dma_cmd) (cmd2 : dma_cmd) ~page_size =
   | _ -> false
 
 let submit_dma t cmd =
-  t.stats.dma_rx_transactions <-
-    t.stats.dma_rx_transactions + List.length cmd.spans;
+  Metrics.add t.m.m_dma_rx (List.length cmd.spans);
   if List.length cmd.spans > 1 then
-    t.stats.boundary_splits <-
-      t.stats.boundary_splits + (List.length cmd.spans - 1);
+    Metrics.add t.m.m_boundary_splits (List.length cmd.spans - 1);
   Mailbox.send t.rx_dma_q cmd
 
 let rx_processor t () =
@@ -821,6 +858,7 @@ let rx_processor t () =
 let exec_dma t (cmd : dma_cmd) =
   List.iter
     (fun (addr, data) ->
+      Hist.add t.m.m_dma_bytes (float_of_int (Bytes.length data));
       Tc.dma_write t.bus ~bytes:(Bytes.length data);
       Phys_mem.blit_from_bytes t.mem ~src:data ~src_off:0 ~dst:addr
         ~len:(Bytes.length data);
@@ -844,7 +882,8 @@ let rx_dma_engine t () =
         let a1, d1 = List.hd cmd1.spans in
         let _, d2 = List.hd cmd2.spans in
         let merged = Bytes.cat d1 d2 in
-        t.stats.combined_dmas <- t.stats.combined_dmas + 1;
+        Metrics.incr t.m.m_combined_dmas;
+        Hist.add t.m.m_dma_bytes (float_of_int (Bytes.length merged));
         Tc.dma_write t.bus ~bytes:(Bytes.length merged);
         Phys_mem.blit_from_bytes t.mem ~src:merged ~src_off:0 ~dst:a1
           ~len:(Bytes.length merged);

@@ -1,4 +1,5 @@
 open Osiris_sim
+module Metrics = Osiris_obs.Metrics
 
 type locking = Lock_free | Spin_lock
 
@@ -24,6 +25,23 @@ type access_stats = {
   mutable shadow_hits : int;
 }
 
+(* Live accounting lives in registry counters; [access_stats] snapshots
+   them into the record callers have always read. *)
+type m = {
+  m_host_reads : Metrics.counter;
+  m_host_writes : Metrics.counter;
+  m_board_words : Metrics.counter;
+  m_shadow_hits : Metrics.counter;
+}
+
+let make_metrics prefix =
+  {
+    m_host_reads = Metrics.counter (prefix ^ ".host_pio_reads");
+    m_host_writes = Metrics.counter (prefix ^ ".host_pio_writes");
+    m_board_words = Metrics.counter (prefix ^ ".board_words");
+    m_shadow_hits = Metrics.counter (prefix ^ ".shadow_hits");
+  }
+
 type t = {
   size : int;
   direction : direction;
@@ -42,10 +60,11 @@ type t = {
   mutable on_enqueue : unit -> unit;
   enqueued : Signal.t;
   dequeued : Signal.t;
-  stats : access_stats;
+  m : m;
 }
 
-let create eng ~size ~direction ~locking ~hooks =
+let create eng ?(metrics_prefix = "queue") ~size ~direction ~locking ~hooks ()
+    =
   if size < 2 then invalid_arg "Desc_queue.create: size must be >= 2";
   {
     size;
@@ -67,7 +86,7 @@ let create eng ~size ~direction ~locking ~hooks =
     on_enqueue = (fun () -> ());
     enqueued = Signal.create eng;
     dequeued = Signal.create eng;
-    stats = { host_reads = 0; host_writes = 0; board_words = 0; shadow_hits = 0 };
+    m = make_metrics metrics_prefix;
   }
 
 let size t = t.size
@@ -80,18 +99,25 @@ let is_full t = (t.head + 1) mod t.size = t.tail
 let set_on_enqueue t f = t.on_enqueue <- f
 let enqueued t = t.enqueued
 let dequeued t = t.dequeued
-let access_stats t = t.stats
+
+let access_stats t : access_stats =
+  {
+    host_reads = Metrics.counter_value t.m.m_host_reads;
+    host_writes = Metrics.counter_value t.m.m_host_writes;
+    board_words = Metrics.counter_value t.m.m_board_words;
+    shadow_hits = Metrics.counter_value t.m.m_shadow_hits;
+  }
 
 let host_read t n =
-  t.stats.host_reads <- t.stats.host_reads + n;
+  Metrics.add t.m.m_host_reads n;
   t.hooks.host_pio_read n
 
 let host_write t n =
-  t.stats.host_writes <- t.stats.host_writes + n;
+  Metrics.add t.m.m_host_writes n;
   t.hooks.host_pio_write n
 
 let board_touch t n =
-  t.stats.board_words <- t.stats.board_words + n;
+  Metrics.add t.m.m_board_words n;
   t.hooks.board_access n
 
 let with_host_lock t f =
@@ -125,7 +151,7 @@ let host_sees_full t =
       is_full t
   | Lock_free ->
       if (t.head + 1) mod t.size <> t.shadow_tail then begin
-        t.stats.shadow_hits <- t.stats.shadow_hits + 1;
+        Metrics.incr t.m.m_shadow_hits;
         false
       end
       else begin
@@ -141,7 +167,7 @@ let host_sees_empty t =
       is_empty t
   | Lock_free ->
       if t.shadow_head <> t.tail then begin
-        t.stats.shadow_hits <- t.stats.shadow_hits + 1;
+        Metrics.incr t.m.m_shadow_hits;
         false
       end
       else begin
@@ -245,6 +271,10 @@ let board_advance t n =
         board_touch t 1;
         Signal.broadcast t.dequeued
       end)
+
+let host_probe_full t =
+  require t Host_to_board "host_probe_full";
+  with_host_lock t (fun () -> host_sees_full t)
 
 let host_set_waiting t =
   require t Host_to_board "host_set_waiting";

@@ -39,10 +39,13 @@ val free_hooks : hooks
 type t
 
 val create :
-  Osiris_sim.Engine.t -> size:int -> direction:direction -> locking:locking ->
-  hooks:hooks -> t
+  Osiris_sim.Engine.t -> ?metrics_prefix:string -> size:int ->
+  direction:direction -> locking:locking -> hooks:hooks -> unit -> t
 (** [size] is the descriptor capacity ([size] slots, of which [size - 1] are
-    usable, as with any head/tail ring). *)
+    usable, as with any head/tail ring). [metrics_prefix] names this queue's
+    access counters in the {!Osiris_obs.Metrics} registry (e.g.
+    ["board.txq"] registers ["board.txq.host_pio_reads"], ...); defaults to
+    ["queue"]. *)
 
 val size : t -> int
 val direction : t -> direction
@@ -91,6 +94,12 @@ val board_advance : t -> int -> unit
 
 (** {2 Transmit-full protocol (paper §2.1.2)} *)
 
+val host_probe_full : t -> bool
+(** Accounted host-side fullness probe for a [Host_to_board] queue: same
+    shadow-pointer discipline (and the same PIO charges) as a failing
+    {!host_enqueue}, without attempting the enqueue. The transmit-stall
+    path uses this so its re-checks appear in the PIO accounting. *)
+
 val host_set_waiting : t -> unit
 (** Host found the queue full and suspends transmission; one PIO write. *)
 
@@ -122,3 +131,5 @@ type access_stats = {
 }
 
 val access_stats : t -> access_stats
+(** Snapshot of the queue's access counters (also visible in the metrics
+    registry under the queue's [metrics_prefix]). *)

@@ -1,6 +1,7 @@
 open Osiris_sim
 module Phys_mem = Osiris_mem.Phys_mem
 module Tc = Osiris_bus.Turbochannel
+module Metrics = Osiris_obs.Metrics
 
 type coherence = Software | Hardware_update
 
@@ -24,6 +25,15 @@ type stats = {
   mutable stale_reads : int;
 }
 
+(* Registry handles behind [stats]; [stats t] snapshots them. *)
+type m = {
+  m_hits : Metrics.counter;
+  m_misses : Metrics.counter;
+  m_invalidated_lines : Metrics.counter;
+  m_stale_overlaps : Metrics.counter;
+  m_stale_reads : Metrics.counter;
+}
+
 type t = {
   eng : Engine.t;
   mem : Phys_mem.t;
@@ -32,7 +42,7 @@ type t = {
   lines : line array;
   nlines : int;
   mutable pressure_cursor : int;
-  stats : stats;
+  m : m;
 }
 
 let create eng ~mem ~bus cfg =
@@ -49,9 +59,14 @@ let create eng ~mem ~bus cfg =
     lines =
       Array.init nlines (fun _ ->
           { tag = -1; valid = false; data = Bytes.create cfg.line_size });
-    stats =
-      { hits = 0; misses = 0; invalidated_lines = 0; stale_overlaps = 0;
-        stale_reads = 0 };
+    m =
+      {
+        m_hits = Metrics.counter "cache.hits";
+        m_misses = Metrics.counter "cache.misses";
+        m_invalidated_lines = Metrics.counter "cache.invalidated_lines";
+        m_stale_overlaps = Metrics.counter "cache.stale_overlaps";
+        m_stale_reads = Metrics.counter "cache.stale_reads";
+      };
   }
 
 let config t = t.cfg
@@ -69,9 +84,9 @@ let line_base tag line_size = tag * line_size
 let touch_line t addr ~words_used =
   let tag = line_tag addr t.cfg.line_size in
   let line = t.lines.(line_index t addr) in
-  if line.valid && line.tag = tag then t.stats.hits <- t.stats.hits + 1
+  if line.valid && line.tag = tag then Metrics.incr t.m.m_hits
   else begin
-    t.stats.misses <- t.stats.misses + 1;
+    Metrics.incr t.m.m_misses;
     (* Fill from main memory across the bus (contends on a shared bus). *)
     Tc.cpu_access t.bus ~bytes:t.cfg.line_size
       ~overhead_cycles:t.cfg.fill_overhead_cycles;
@@ -101,7 +116,7 @@ let read_into t ~addr ~len ~dst ~dst_off =
   (* Stale-read detection (model bookkeeping, not charged time). *)
   let truth = Phys_mem.bytes_of_region t.mem ~addr ~len in
   if not (Bytes.equal truth (Bytes.sub dst dst_off len)) then
-    t.stats.stale_reads <- t.stats.stale_reads + 1
+    Metrics.incr t.m.m_stale_reads
 
 let read t ~addr ~len =
   let out = Bytes.create len in
@@ -144,7 +159,7 @@ let invalidate t ~addr ~len =
   iter_lines t ~addr ~len (fun tag line ->
       if line.valid && line.tag = tag then begin
         line.valid <- false;
-        t.stats.invalidated_lines <- t.stats.invalidated_lines + 1
+        Metrics.incr t.m.m_invalidated_lines
       end)
 
 let invalidate_all t =
@@ -152,7 +167,7 @@ let invalidate_all t =
     (fun line ->
       if line.valid then begin
         line.valid <- false;
-        t.stats.invalidated_lines <- t.stats.invalidated_lines + 1
+        Metrics.incr t.m.m_invalidated_lines
       end)
     t.lines
 
@@ -177,10 +192,17 @@ let dma_wrote t ~addr ~len =
           line.valid <- true
       | Software ->
           if line.valid && line.tag = tag then
-            t.stats.stale_overlaps <- t.stats.stale_overlaps + 1)
+            Metrics.incr t.m.m_stale_overlaps)
 
 let resident t ~addr =
   let line = t.lines.(line_index t addr) in
   line.valid && line.tag = line_tag addr t.cfg.line_size
 
-let stats t = t.stats
+let stats t : stats =
+  {
+    hits = Metrics.counter_value t.m.m_hits;
+    misses = Metrics.counter_value t.m.m_misses;
+    invalidated_lines = Metrics.counter_value t.m.m_invalidated_lines;
+    stale_overlaps = Metrics.counter_value t.m.m_stale_overlaps;
+    stale_reads = Metrics.counter_value t.m.m_stale_reads;
+  }

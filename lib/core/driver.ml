@@ -9,6 +9,8 @@ module Vspace = Osiris_mem.Vspace
 module Msg = Osiris_xkernel.Msg
 module Demux = Osiris_xkernel.Demux
 module Sar = Osiris_atm.Sar
+module Metrics = Osiris_obs.Metrics
+module Stats = Osiris_util.Stats
 
 type invalidation = Lazy | Eager | Eager_full
 
@@ -22,6 +24,32 @@ type stats = {
   mutable tx_full_stalls : int;
   mutable rx_wakeups : int;
 }
+
+(* Registry handles behind [stats]; [stats t] snapshots them. *)
+type m = {
+  m_pdus_sent : Metrics.counter;
+  m_pdus_received : Metrics.counter;
+  m_bytes_received : Metrics.counter;
+  m_aborted_chains : Metrics.counter;
+  m_crc_drops : Metrics.counter;
+  m_undeliverable : Metrics.counter;
+  m_tx_full_stalls : Metrics.counter;
+  m_rx_wakeups : Metrics.counter;
+  m_pdu_bytes : Stats.t;  (** distribution of delivered PDU payloads *)
+}
+
+let make_driver_metrics () =
+  {
+    m_pdus_sent = Metrics.counter "driver.tx.pdus_sent";
+    m_pdus_received = Metrics.counter "driver.rx.pdus_received";
+    m_bytes_received = Metrics.counter "driver.rx.bytes";
+    m_aborted_chains = Metrics.counter "driver.rx.aborted_chains";
+    m_crc_drops = Metrics.counter "driver.rx.crc_drops";
+    m_undeliverable = Metrics.counter "driver.rx.undeliverable";
+    m_tx_full_stalls = Metrics.counter "driver.tx.full_stalls";
+    m_rx_wakeups = Metrics.counter "driver.rx.wakeups";
+    m_pdu_bytes = Metrics.dist "driver.rx.pdu_bytes";
+  }
 
 type pending_tx = {
   upto : int; (* complete when tx_q total_dequeued >= upto *)
@@ -49,7 +77,7 @@ type t = {
   tx_space : Signal.t;
   pending : pending_tx Queue.t;
   pending_sig : Signal.t;
-  stats : stats;
+  m : m;
 }
 
 let alloc_buffer vs ~size ~contiguous =
@@ -88,22 +116,18 @@ let create ~cpu ~cache ~wiring ~board ~channel ~vs ~costs ~demux ~invalidation
       tx_space = Signal.create (Board.engine board);
       pending = Queue.create ();
       pending_sig = Signal.create (Board.engine board);
-      stats =
-        {
-          pdus_sent = 0;
-          pdus_received = 0;
-          bytes_received = 0;
-          aborted_chains = 0;
-          crc_drops = 0;
-          undeliverable = 0;
-          tx_full_stalls = 0;
-          rx_wakeups = 0;
-        };
+      m = make_driver_metrics ();
     }
   in
+  Metrics.gauge_fn "driver.rx.pool_available" (fun () ->
+      float_of_int (Queue.length t.pool));
+  (* When the buffers are page-fragments, keep at least [rx_pool_buffers]
+     pages circulating: for [rx_buffer_size < page_size] the ratio rounds
+     down to zero, which used to leave the pool empty and the receive path
+     permanently stalled. *)
   let n_bufs =
     if contiguous_buffers then rx_pool_buffers
-    else rx_pool_buffers * (rx_buffer_size / buf_size)
+    else max rx_pool_buffers (rx_pool_buffers * (rx_buffer_size / buf_size))
   in
   (* The receive queue must be able to hold every circulating buffer
      (paper: 64-entry queues and 64 buffers): otherwise a slow host can
@@ -154,7 +178,19 @@ let outstanding_buffers t = t.outstanding
 let on_rx_nonempty t = Signal.broadcast t.rx_sig
 let on_tx_half_empty t = Signal.broadcast t.tx_space
 let set_invalidation t p = t.invalidation <- p
-let stats t = t.stats
+
+let stats t : stats =
+  {
+    pdus_sent = Metrics.counter_value t.m.m_pdus_sent;
+    pdus_received = Metrics.counter_value t.m.m_pdus_received;
+    bytes_received = Metrics.counter_value t.m.m_bytes_received;
+    aborted_chains = Metrics.counter_value t.m.m_aborted_chains;
+    crc_drops = Metrics.counter_value t.m.m_crc_drops;
+    undeliverable = Metrics.counter_value t.m.m_undeliverable;
+    tx_full_stalls = Metrics.counter_value t.m.m_tx_full_stalls;
+    rx_wakeups = Metrics.counter_value t.m.m_rx_wakeups;
+  }
+
 let pool_available t = Queue.length t.pool
 
 let buffer_regions t =
@@ -186,13 +222,14 @@ let recycle_chain t chain =
   replenish_free_queue t
 
 (* Process one complete PDU whose buffers (descriptor order) are in
-   [chain]. *)
-let process_pdu t chain =
+   [chain]; [last] is its final descriptor (the receive thread already has
+   it at hand, so the trailer read below need not walk the chain). *)
+let process_pdu t chain ~last =
   Cpu.consume_prio t.cpu ~priority:t.cpu_priority t.costs.rx_per_pdu;
   if List.exists (fun (d : Desc.t) -> d.Desc.len = 0) chain then begin
     (* Abort marker: the board abandoned this PDU after posting part of
        it; discard and recycle. *)
-    t.stats.aborted_chains <- t.stats.aborted_chains + 1;
+    Metrics.incr t.m.m_aborted_chains;
     recycle_chain t chain;
     raise Exit
   end;
@@ -217,12 +254,11 @@ let process_pdu t chain =
       (List.map Desc.to_pbuf chain) in
   match Sar.deframe_check framed with
   | Error _ ->
-      t.stats.crc_drops <- t.stats.crc_drops + 1;
+      Metrics.incr t.m.m_crc_drops;
       recycle t vaddrs;
       replenish_free_queue t
   | Ok payload_len ->
       (* Read the trailer's length word through the cache (8 bytes). *)
-      let last : Desc.t = List.nth chain (List.length chain - 1) in
       ignore
         (Cpu.with_held t.cpu (fun () ->
              Cache.read t.cache
@@ -259,49 +295,54 @@ let process_pdu t chain =
       Msg.add_finalizer msg (fun () ->
           recycle t vaddrs;
           replenish_free_queue t);
-      t.stats.pdus_received <- t.stats.pdus_received + 1;
-      t.stats.bytes_received <- t.stats.bytes_received + payload_len;
+      Metrics.incr t.m.m_pdus_received;
+      Metrics.add t.m.m_bytes_received payload_len;
+      Stats.add t.m.m_pdu_bytes (float_of_int payload_len);
       if not (Demux.deliver t.demux ~vci msg) then begin
-        t.stats.undeliverable <- t.stats.undeliverable + 1;
+        Metrics.incr t.m.m_undeliverable;
         Msg.dispose msg
       end
 
-let process_pdu t chain = try process_pdu t chain with Exit -> ()
+let process_pdu t chain ~last =
+  try process_pdu t chain ~last with Exit -> ()
 
 let rx_thread t () =
   let rx_q = Board.rx_queue t.channel in
-  let rec drain chain =
+  (* [chain] accumulates in reverse; its length rides along so a long
+     descriptor chain costs O(n) to drain, not O(n²). *)
+  let rec drain chain nchain =
     match Desc_queue.host_dequeue rx_q with
     | None ->
         (* A PDU should never be split across wakeups for long: partial
            chains are kept and continued on the next buffer. *)
-        chain
+        (chain, nchain)
     | Some d ->
         Cpu.consume_prio t.cpu ~priority:t.cpu_priority t.costs.rx_per_buffer;
         claim t 1;
         replenish_free_queue t;
         let chain = d :: chain in
+        let nchain = nchain + 1 in
         if d.Desc.eop then begin
-          process_pdu t (List.rev chain);
-          drain []
+          process_pdu t (List.rev chain) ~last:d;
+          drain [] 0
         end
-        else if List.length chain > Desc_queue.size rx_q / 2 then begin
+        else if nchain > Desc_queue.size rx_q / 2 then begin
           (* Defensive: a chain this long means end-of-PDU markers were
              lost; reclaim the buffers instead of hoarding them. *)
-          t.stats.aborted_chains <- t.stats.aborted_chains + 1;
+          Metrics.incr t.m.m_aborted_chains;
           recycle_chain t chain;
-          drain []
+          drain [] 0
         end
-        else drain chain
+        else drain chain nchain
   in
-  let rec loop chain =
+  let rec loop chain nchain =
     Signal.wait t.rx_sig;
-    t.stats.rx_wakeups <- t.stats.rx_wakeups + 1;
+    Metrics.incr t.m.m_rx_wakeups;
     Cpu.consume_prio t.cpu ~priority:t.cpu_priority t.costs.sched_latency;
-    let chain = drain chain in
-    loop chain
+    let chain, nchain = drain chain nchain in
+    loop chain nchain
   in
-  loop []
+  loop [] 0
 
 (* ------------------------------------------------------------------ *)
 (* Transmit path. *)
@@ -335,13 +376,14 @@ let send t ~vci ?(from_user = false) msg =
       Cpu.consume t.cpu t.costs.tx_per_buffer;
       while not (Desc_queue.host_enqueue tx_q d) do
         (* Full: suspend transmit activity and ask for the half-empty
-           interrupt (§2.1.2). *)
-        t.stats.tx_full_stalls <- t.stats.tx_full_stalls + 1;
+           interrupt (§2.1.2). The re-check is a real host probe of the
+           queue pointers and must be charged as PIO like any other. *)
+        Metrics.incr t.m.m_tx_full_stalls;
         Desc_queue.host_set_waiting tx_q;
-        if Desc_queue.is_full tx_q then Signal.wait t.tx_space
+        if Desc_queue.host_probe_full tx_q then Signal.wait t.tx_space
       done)
     descs;
-  t.stats.pdus_sent <- t.stats.pdus_sent + 1;
+  Metrics.incr t.m.m_pdus_sent;
   let upto = Desc_queue.total_enqueued tx_q in
   let cleanup () =
     List.iter

@@ -109,9 +109,21 @@ let quick =
 
 let find id = List.find_opt (fun e -> e.id = id) all
 
-let run e =
+type result = R_table of Report.table | R_figure of Report.figure
+
+let eval e =
   match e.kind with
-  | Table f -> Report.print_table (f ())
-  | Figure f -> Report.print_figure (f ())
+  | Table f -> R_table (f ())
+  | Figure f -> R_figure (f ())
+
+let print_result = function
+  | R_table t -> Report.print_table t
+  | R_figure f -> Report.print_figure f
+
+let result_json = function
+  | R_table t -> Report.table_json t
+  | R_figure f -> Report.figure_json f
+
+let run e = print_result (eval e)
 
 let ids () = List.map (fun e -> e.id) all

@@ -16,7 +16,16 @@ val quick : entry list
 
 val find : string -> entry option
 
+type result = R_table of Report.table | R_figure of Report.figure
+
+val eval : entry -> result
+(** Execute without printing, so one run can feed both the textual report
+    and BENCH.json. *)
+
+val print_result : result -> unit
+val result_json : result -> Osiris_obs.Json.t
+
 val run : entry -> unit
-(** Execute and print. *)
+(** [eval] then [print_result]. *)
 
 val ids : unit -> string list

@@ -62,6 +62,79 @@ let print_table t =
   List.iter print_row t.rows;
   Printf.printf "paper: %s\n" t.t_paper_note
 
+(* ------------------------------------------------------------------ *)
+(* Machine-readable rendering (BENCH.json).                            *)
+
+module Json = Osiris_obs.Json
+
+let table_json t =
+  Json.Assoc
+    [
+      ("kind", Json.String "table");
+      ("title", Json.String t.t_title);
+      ("header", Json.List (List.map (fun h -> Json.String h) t.header));
+      ( "rows",
+        Json.List
+          (List.map
+             (fun row -> Json.List (List.map (fun c -> Json.String c) row))
+             t.rows) );
+      ("paper_note", Json.String t.t_paper_note);
+    ]
+
+let series_json s =
+  Json.Assoc
+    [
+      ("label", Json.String s.label);
+      ( "points",
+        Json.List
+          (List.map
+             (fun (x, y) ->
+               Json.Assoc [ ("x", Json.Int x); ("y", Json.Float y) ])
+             s.points) );
+    ]
+
+let figure_json f =
+  Json.Assoc
+    [
+      ("kind", Json.String "figure");
+      ("title", Json.String f.title);
+      ("xlabel", Json.String f.xlabel);
+      ("ylabel", Json.String f.ylabel);
+      ("series", Json.List (List.map series_json f.series));
+      ("paper_note", Json.String f.paper_note);
+    ]
+
+let bench_json ~mode ~experiments ~micro =
+  Json.Assoc
+    [
+      ("schema", Json.String "osiris-bench/1");
+      ("mode", Json.String mode);
+      ( "experiments",
+        Json.List
+          (List.map
+             (fun (id, description, result) ->
+               Json.Assoc
+                 [
+                   ("id", Json.String id);
+                   ("description", Json.String description);
+                   ("result", result);
+                 ])
+             experiments) );
+      ( "micro",
+        Json.List
+          (List.map
+             (fun (name, ns) ->
+               Json.Assoc
+                 [
+                   ("name", Json.String name);
+                   ( "ns_per_run",
+                     match ns with Some v -> Json.Float v | None -> Json.Null
+                   );
+                 ])
+             micro) );
+      ("metrics", Osiris_obs.Metrics.to_json ());
+    ]
+
 let mbps ~bytes_count ~ns =
   if ns <= 0 then 0.0 else float_of_int bytes_count *. 8.0 *. 1e3 /. float_of_int ns
 

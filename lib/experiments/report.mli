@@ -25,6 +25,26 @@ type table = {
 val print_figure : figure -> unit
 val print_table : table -> unit
 
+(** {2 Machine-readable rendering} *)
+
+val table_json : table -> Osiris_obs.Json.t
+(** [{kind:"table"; title; header; rows; paper_note}] — every datum the
+    textual rendering prints. *)
+
+val figure_json : figure -> Osiris_obs.Json.t
+(** [{kind:"figure"; title; xlabel; ylabel; series; paper_note}], each
+    series as [{label; points:[{x;y}]}]. *)
+
+val bench_json :
+  mode:string ->
+  experiments:(string * string * Osiris_obs.Json.t) list ->
+  micro:(string * float option) list ->
+  Osiris_obs.Json.t
+(** The BENCH.json document (schema ["osiris-bench/1"]): the run [mode],
+    every experiment as [(id, description, result_json)], Bechamel results
+    as [(name, ns_per_run)], and a full {!Osiris_obs.Metrics} snapshot
+    taken at call time. *)
+
 val mbps : bytes_count:int -> ns:int -> float
 (** Rate of [bytes_count] bytes over [ns] simulated nanoseconds, in Mb/s. *)
 

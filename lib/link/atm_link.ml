@@ -1,6 +1,8 @@
 open Osiris_sim
 module Cell = Osiris_atm.Cell
 module Rng = Osiris_util.Rng
+module Metrics = Osiris_obs.Metrics
+module Trace = Osiris_sim.Trace
 
 type config = {
   nlinks : int;
@@ -42,6 +44,16 @@ type stats = {
   mutable reordered : int;
 }
 
+(* Registry handles behind [stats]; [stats t] snapshots them. *)
+type m = {
+  m_sent : Metrics.counter;
+  m_delivered : Metrics.counter;
+  m_dropped_fifo : Metrics.counter;
+  m_dropped_net : Metrics.counter;
+  m_corrupted : Metrics.counter;
+  m_reordered : Metrics.counter;
+}
+
 type t = {
   eng : Engine.t;
   rng : Rng.t;
@@ -52,7 +64,7 @@ type t = {
   busy_until : Time.t array; (* per-channel serializer booking *)
   last_delivery : Time.t array; (* per-channel FIFO enforcement *)
   inbox : (int * Cell.t) Mailbox.t;
-  stats : stats;
+  m : m;
 }
 
 let create eng rng cfg =
@@ -74,14 +86,14 @@ let create eng rng cfg =
     busy_until = Array.make cfg.nlinks 0;
     last_delivery = Array.make cfg.nlinks 0;
     inbox = Mailbox.create eng ~capacity:cfg.rx_fifo_cells ();
-    stats =
+    m =
       {
-        sent = 0;
-        delivered = 0;
-        dropped_fifo = 0;
-        dropped_net = 0;
-        corrupted = 0;
-        reordered = 0;
+        m_sent = Metrics.counter "link.cells_sent";
+        m_delivered = Metrics.counter "link.cells_delivered";
+        m_dropped_fifo = Metrics.counter "link.dropped_fifo";
+        m_dropped_net = Metrics.counter "link.dropped_net";
+        m_corrupted = Metrics.counter "link.corrupted";
+        m_reordered = Metrics.counter "link.reordered";
       };
   }
 
@@ -89,10 +101,18 @@ let config t = t.cfg
 
 let deliver t link seq cell =
   if seq > t.max_delivered_seq then t.max_delivered_seq <- seq
-  else t.stats.reordered <- t.stats.reordered + 1;
+  else begin
+    Metrics.incr t.m.m_reordered;
+    Trace.emitf Trace.Link ~now:(Engine.now t.eng)
+      "reordered arrival link=%d trunk_seq=%d" link seq
+  end;
   if Mailbox.try_send t.inbox (link, cell) then
-    t.stats.delivered <- t.stats.delivered + 1
-  else t.stats.dropped_fifo <- t.stats.dropped_fifo + 1
+    Metrics.incr t.m.m_delivered
+  else begin
+    Metrics.incr t.m.m_dropped_fifo;
+    Trace.emitf Trace.Link ~now:(Engine.now t.eng)
+      "rx fifo overflow link=%d trunk_seq=%d" link seq
+  end
 
 let send t cell =
   (* Cell k of a PDU travels on link k mod n (paper 2.6): the link choice
@@ -103,7 +123,9 @@ let send t cell =
   let l = cell.Cell.seq mod t.cfg.nlinks in
   let seq = t.send_seq in
   t.send_seq <- seq + 1;
-  t.stats.sent <- t.stats.sent + 1;
+  Metrics.incr t.m.m_sent;
+  Trace.emitf Trace.Link ~now:(Engine.now t.eng)
+    "cell vci=%d seq=%d -> link %d" cell.Cell.vci cell.Cell.seq l;
   (* Backpressure: the channel's output FIFO lets us book at most
      [tx_fifo_cells] cell-times ahead of the present. *)
   let horizon () = Engine.now t.eng + (t.cfg.tx_fifo_cells * t.cell_time) in
@@ -113,12 +135,15 @@ let send t cell =
   let start = max now t.busy_until.(l) in
   let finish = start + t.cell_time in
   t.busy_until.(l) <- finish;
-  if Rng.float t.rng 1.0 < t.cfg.drop_prob then
-    t.stats.dropped_net <- t.stats.dropped_net + 1
+  if Rng.float t.rng 1.0 < t.cfg.drop_prob then begin
+    Metrics.incr t.m.m_dropped_net;
+    Trace.emitf Trace.Link ~now:(Engine.now t.eng)
+      "cell lost on link %d trunk_seq=%d" l seq
+  end
   else begin
     let cell =
       if Rng.float t.rng 1.0 < t.cfg.corrupt_prob then begin
-        t.stats.corrupted <- t.stats.corrupted + 1;
+        Metrics.incr t.m.m_corrupted;
         Cell.corrupt cell ~byte:(Rng.int t.rng Cell.data_size)
       end
       else cell
@@ -142,4 +167,13 @@ let send t cell =
 let recv t = Mailbox.recv t.inbox
 let try_recv t = Mailbox.try_recv t.inbox
 let pending t = Mailbox.length t.inbox
-let stats t = t.stats
+
+let stats t : stats =
+  {
+    sent = Metrics.counter_value t.m.m_sent;
+    delivered = Metrics.counter_value t.m.m_delivered;
+    dropped_fifo = Metrics.counter_value t.m.m_dropped_fifo;
+    dropped_net = Metrics.counter_value t.m.m_dropped_net;
+    corrupted = Metrics.counter_value t.m.m_corrupted;
+    reordered = Metrics.counter_value t.m.m_reordered;
+  }

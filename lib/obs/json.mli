@@ -1,0 +1,17 @@
+(** Minimal JSON document builder (emission only).
+
+    Backs BENCH.json, the JSONL trace sink and metrics snapshots without
+    pulling in an external dependency. Non-finite floats are emitted as
+    [null] so the output always parses. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Assoc of (string * t) list
+
+val to_string : t -> string
+val to_channel : out_channel -> t -> unit

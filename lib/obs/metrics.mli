@@ -1,0 +1,71 @@
+(** Process-wide metrics registry.
+
+    Components register typed handles — counters, gauges, streaming
+    distributions ({!Osiris_util.Stats.t}) and histograms — under
+    hierarchical dotted names like ["board.tx.dma_words"] at construction
+    time, and bump them on the hot path (a single mutable-field update).
+    Reporting code reads everything at once with {!snapshot} or
+    {!to_json}.
+
+    Several instances may register under one name (a bench run builds
+    many hosts): snapshots aggregate them — counters and distributions
+    sum/merge, gauges report the most recent registration. *)
+
+type counter
+type gauge
+
+val counter : string -> counter
+(** Register (another) counter under [name], starting at 0. *)
+
+val add : counter -> int -> unit
+val incr : counter -> unit
+val counter_value : counter -> int
+val counter_name : counter -> string
+
+val gauge : string -> gauge
+val set : gauge -> float -> unit
+val gauge_value : gauge -> float
+
+val gauge_fn : string -> (unit -> float) -> unit
+(** Register a pull gauge: the callback is sampled at snapshot time. *)
+
+val dist : string -> Osiris_util.Stats.t
+(** Register a streaming distribution; feed it with [Stats.add]. *)
+
+val histogram :
+  string -> lo:float -> hi:float -> buckets:int -> Osiris_util.Stats.Histogram.h
+
+val reset : unit -> unit
+(** Drop every registration (testing). Existing handles keep working but
+    are no longer visible to snapshots. *)
+
+(** {2 Snapshots} *)
+
+type dist_value = {
+  d_n : int;
+  d_mean : float;
+  d_stddev : float;
+  d_min : float;
+  d_max : float;
+  d_sum : float;
+}
+
+type hist_value = { h_n : int; h_p50 : float; h_p90 : float; h_p99 : float }
+
+type value =
+  | V_int of int
+  | V_float of float
+  | V_dist of dist_value
+  | V_hist of hist_value
+
+val snapshot : unit -> (string * value) list
+(** Every registered name with its aggregated value, sorted by name. *)
+
+val find : string -> value option
+
+val value_json : value -> Json.t
+
+val to_json : unit -> Json.t
+(** The whole registry as one JSON object, keys sorted. *)
+
+val pp : Format.formatter -> unit -> unit

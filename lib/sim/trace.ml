@@ -1,47 +1,6 @@
-type category = Board_tx | Board_rx | Driver | Protocol | Link
+(* The simulator's trace facility is the observability layer's structured
+   trace; re-exported here so existing call sites (Osiris_sim.Trace.emitf
+   with a Time.t timestamp — Time.t is int nanoseconds, matching the
+   event's t_ns) keep working unchanged. *)
 
-let category_name = function
-  | Board_tx -> "board-tx"
-  | Board_rx -> "board-rx"
-  | Driver -> "driver"
-  | Protocol -> "protocol"
-  | Link -> "link"
-
-let all = [ Board_tx; Board_rx; Driver; Protocol; Link ]
-
-let state = Hashtbl.create 8
-
-let enable c = Hashtbl.replace state c ()
-let disable c = Hashtbl.remove state c
-let enable_all () = List.iter enable all
-
-let initialized = ref false
-
-let init_from_env () =
-  if not !initialized then begin
-    initialized := true;
-    match Sys.getenv_opt "OSIRIS_TRACE" with
-    | None | Some "" -> ()
-    | Some "all" -> enable_all ()
-    | Some spec ->
-        String.split_on_char ',' spec
-        |> List.iter (fun name ->
-               List.iter
-                 (fun c ->
-                   if category_name c = String.trim name then enable c)
-                 all)
-  end
-
-let enabled c =
-  init_from_env ();
-  Hashtbl.mem state c
-
-let emit c ~now msg =
-  if enabled c then
-    Printf.eprintf "[%10.2fus %s] %s\n%!" (Time.to_float_us now)
-      (category_name c) msg
-
-let emitf c ~now fmt =
-  if enabled c then
-    Format.kasprintf (fun msg -> emit c ~now msg) fmt
-  else Format.ikfprintf (fun _ -> ()) Format.str_formatter fmt
+include Osiris_obs.Trace

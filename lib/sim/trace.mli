@@ -1,36 +1,8 @@
-(** Lightweight event tracing for the simulation.
+(** Event tracing for the simulation — the observability layer's
+    structured trace ({!Osiris_obs.Trace}), re-exported under the name
+    simulation code has always used. Timestamps are [Time.t] (= integer
+    nanoseconds), supplied by the emitting site. *)
 
-    Subsystems emit categorized one-line events; tracing is off by default
-    and costs one branch when disabled. Enable programmatically or through
-    the [OSIRIS_TRACE] environment variable (comma-separated category
-    names, or ["all"]). Events go to [stderr] prefixed with the simulated
-    timestamp, which the emitting site supplies (the tracer itself has no
-    clock, so pure modules can trace too). *)
-
-type category =
-  | Board_tx  (** transmit processor: chain loads, completions *)
-  | Board_rx  (** receive processor: reassembly outcomes, drops *)
-  | Driver  (** host channel drivers *)
-  | Protocol  (** IP/UDP events *)
-  | Link  (** striping, skew, loss *)
-
-val category_name : category -> string
-
-val enable : category -> unit
-val disable : category -> unit
-val enable_all : unit -> unit
-
-val enabled : category -> bool
-(** Cheap guard for call sites that would otherwise build strings. *)
-
-val emit : category -> now:Time.t -> string -> unit
-(** Emit one event line (no trailing newline needed). *)
-
-val emitf :
-  category -> now:Time.t -> ('a, Format.formatter, unit, unit) format4 -> 'a
-(** Formatted variant; the format is only evaluated when the category is
-    enabled. *)
-
-val init_from_env : unit -> unit
-(** Parse [OSIRIS_TRACE]. Called lazily by the first {!emit}, but can be
-    invoked explicitly. *)
+include module type of struct
+  include Osiris_obs.Trace
+end

@@ -37,6 +37,26 @@ let pp fmt t =
   Format.fprintf fmt "n=%d mean=%.3f sd=%.3f min=%.3f max=%.3f" t.n t.mean
     (stddev t) t.min t.max
 
+(* Chan et al.'s parallel combination of Welford accumulators: exact in n,
+   mean and sum, numerically stable in m2. *)
+let merge ts =
+  let acc = create () in
+  List.iter
+    (fun t ->
+      if t.n > 0 then begin
+        let na = float_of_int acc.n and nb = float_of_int t.n in
+        let nt = na +. nb in
+        let delta = t.mean -. acc.mean in
+        acc.m2 <- acc.m2 +. t.m2 +. (delta *. delta *. na *. nb /. nt);
+        acc.mean <- acc.mean +. (delta *. nb /. nt);
+        acc.sum <- acc.sum +. t.sum;
+        acc.min <- (if acc.n = 0 then t.min else Float.min acc.min t.min);
+        acc.max <- (if acc.n = 0 then t.max else Float.max acc.max t.max);
+        acc.n <- acc.n + t.n
+      end)
+    ts;
+  acc
+
 module Histogram = struct
   type h = {
     lo : float;
@@ -93,4 +113,28 @@ module Histogram = struct
   let pp fmt h =
     Format.fprintf fmt "hist[%g,%g) n=%d p50=%g p99=%g" h.lo h.hi h.total
       (percentile h 50.0) (percentile h 99.0)
+
+  (* Sum same-shape histograms (the shape of the first one); differently
+     shaped inputs are skipped, since their buckets are incomparable. *)
+  let merge hs =
+    match hs with
+    | [] -> invalid_arg "Histogram.merge: empty list"
+    | first :: _ ->
+        let merged =
+          create ~lo:first.lo ~hi:first.hi
+            ~buckets:(Array.length first.counts - 2)
+        in
+        List.iter
+          (fun h ->
+            if
+              h.lo = first.lo && h.hi = first.hi
+              && Array.length h.counts = Array.length first.counts
+            then begin
+              Array.iteri
+                (fun i c -> merged.counts.(i) <- merged.counts.(i) + c)
+                h.counts;
+              merged.total <- merged.total + h.total
+            end)
+          hs;
+        merged
 end

@@ -22,6 +22,10 @@ val sum : t -> float
 val pp : Format.formatter -> t -> unit
 (** "n=… mean=… sd=… min=… max=…". *)
 
+val merge : t list -> t
+(** Combine accumulators as if every observation had been fed to one
+    (Chan's parallel Welford combination). The inputs are not modified. *)
+
 (** Histogram with uniform buckets over [\[lo, hi)]; out-of-range samples go
     to the two overflow buckets. *)
 module Histogram : sig
@@ -36,4 +40,9 @@ module Histogram : sig
       containing the [p]-th percentile observation. *)
 
   val pp : Format.formatter -> h -> unit
+
+  val merge : h list -> h
+  (** Sum same-shape histograms into a fresh one (the shape of the first;
+      differently shaped inputs are skipped). Raises [Invalid_argument] on
+      an empty list. *)
 end

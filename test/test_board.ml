@@ -16,7 +16,7 @@ module Rng = Osiris_util.Rng
 let mk_queue ?(size = 8) ?(locking = Desc_queue.Lock_free) direction =
   let eng = Engine.create () in
   (eng, Desc_queue.create eng ~size ~direction ~locking
-          ~hooks:Desc_queue.free_hooks)
+          ~hooks:Desc_queue.free_hooks ())
 
 let d i = Desc.v ~addr:(i * 4096) ~len:100 ~vci:i ()
 
@@ -147,7 +147,7 @@ let queue_linearizable =
       let eng = Engine.create () in
       let q =
         Desc_queue.create eng ~size:8 ~direction:Desc_queue.Host_to_board
-          ~locking:Desc_queue.Lock_free ~hooks:Desc_queue.free_hooks
+          ~locking:Desc_queue.Lock_free ~hooks:Desc_queue.free_hooks ()
       in
       let rng = Rng.create ~seed in
       let got = ref [] in

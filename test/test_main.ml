@@ -21,4 +21,5 @@ let () =
       ("adc", Test_adc.suite);
       ("faults", Test_faults.suite);
       ("experiments", Test_experiments.suite);
+      ("obs", Test_obs.suite);
     ]
