@@ -30,6 +30,8 @@ type config = {
   max_pdu_cells : int;
   page_size : int;
   rx_fifo_cells : int;
+  reassembly_timeout : Time.t;
+  irq_reassert : Time.t;
 }
 
 let default_config =
@@ -56,6 +58,11 @@ let default_config =
     max_pdu_cells = 8192;
     page_size = 4096;
     rx_fifo_cells = 32;
+    (* Both recovery timers default off: enabling them leaves timer events
+       in the engine heap, which would shift the quiescence clock of every
+       seeded experiment that predates the fault layer. *)
+    reassembly_timeout = 0;
+    irq_reassert = 0;
   }
 
 type interrupt_reason =
@@ -77,6 +84,10 @@ type stats = {
   mutable reassembly_errors : int;
   mutable protection_faults : int;
   mutable unknown_vci_cells : int;
+  mutable reassembly_timeouts : int;
+  mutable restripe_aborts : int;
+  mutable interrupts_suppressed : int;
+  mutable irq_reasserts : int;
 }
 
 (* Registry handles behind [stats]; [stats t] snapshots them. *)
@@ -94,6 +105,10 @@ type m = {
   m_reassembly_errors : Metrics.counter;
   m_protection_faults : Metrics.counter;
   m_unknown_vci_cells : Metrics.counter;
+  m_reassembly_timeouts : Metrics.counter;
+  m_restripe_aborts : Metrics.counter;
+  m_interrupts_suppressed : Metrics.counter;
+  m_irq_reasserts : Metrics.counter;
   m_dma_bytes : Hist.h;  (** sizes of actual receive bus transactions *)
 }
 
@@ -112,6 +127,10 @@ let make_board_metrics () =
     m_reassembly_errors = Metrics.counter "board.rx.reassembly_errors";
     m_protection_faults = Metrics.counter "board.tx.protection_faults";
     m_unknown_vci_cells = Metrics.counter "board.rx.unknown_vci_cells";
+    m_reassembly_timeouts = Metrics.counter "board.rx.reassembly_timeouts";
+    m_restripe_aborts = Metrics.counter "board.rx.restripe_aborts";
+    m_interrupts_suppressed = Metrics.counter "board.irq.suppressed";
+    m_irq_reasserts = Metrics.counter "board.irq.reasserts";
     m_dma_bytes =
       Metrics.histogram "board.rx.dma_span_bytes" ~lo:0. ~hi:128. ~buckets:16;
   }
@@ -133,6 +152,7 @@ type channel = {
   mutable allowed : Pbuf.t list option;
   mutable txst : tx_pdu option;
   mutable peek_ahead : int; (* descriptors consumed but not yet advanced *)
+  mutable reassert_armed : bool; (* rx interrupt watchdog scheduled *)
 }
 
 type rxbuf = { bdesc : Desc.t; mutable filled : int; mutable posted : bool }
@@ -140,7 +160,8 @@ type rxbuf = { bdesc : Desc.t; mutable filled : int; mutable posted : bool }
 type vc_state = {
   vci : int;
   mutable channel : channel;
-  sar : Sar.t;
+  mutable sar : Sar.t; (* replaced when the stripe narrows/widens *)
+  mutable last_progress : Time.t; (* last successful placement (timeout) *)
   bufs : (int, rxbuf) Hashtbl.t; (* buffer index within current PDU *)
   mutable buf_size : int; (* capacity of this PDU's buffers; 0 = none yet *)
   mutable next_post : int;
@@ -183,6 +204,11 @@ type t = {
   tx_out : Cell.t Mailbox.t;
   rx_dma_q : dma_cmd Mailbox.t;
   mutable tx_link : Atm_link.t option;
+  mutable rx_link : Atm_link.t option;
+  rx_link_map : int array; (* physical channel -> logical stripe index *)
+  mutable rx_strategy : Sar.strategy; (* current (possibly narrowed) *)
+  sweep_work : Signal.t; (* wakes the reassembly-timeout sweeper *)
+  mutable irq_filter : (interrupt_reason -> bool) option;
   mutable recv_fn : (unit -> int * Cell.t) option;
   mutable try_recv_fn : (unit -> (int * Cell.t) option) option;
   pending_cells : (int * Cell.t) Queue.t;
@@ -222,6 +248,7 @@ let make_channel eng bus cfg id =
     allowed = None;
     txst = None;
     peek_ahead = 0;
+    reassert_armed = false;
   }
 
 let create eng ~bus ~mem ~on_interrupt ?(on_dma_write = fun ~addr:_ ~len:_ -> ())
@@ -244,6 +271,11 @@ let create eng ~bus ~mem ~on_interrupt ?(on_dma_write = fun ~addr:_ ~len:_ -> ()
       tx_out = Mailbox.create eng ~capacity:4 ();
       rx_dma_q = Mailbox.create eng ~capacity:4 ();
       tx_link = None;
+      rx_link = None;
+      rx_link_map = Array.init cfg.nlinks (fun i -> i);
+      rx_strategy = cfg.reassembly;
+      sweep_work = Signal.create eng;
+      irq_filter = None;
       recv_fn = None;
       try_recv_fn = None;
       pending_cells = Queue.create ();
@@ -272,7 +304,40 @@ let stats t : stats =
     reassembly_errors = Metrics.counter_value t.m.m_reassembly_errors;
     protection_faults = Metrics.counter_value t.m.m_protection_faults;
     unknown_vci_cells = Metrics.counter_value t.m.m_unknown_vci_cells;
+    reassembly_timeouts = Metrics.counter_value t.m.m_reassembly_timeouts;
+    restripe_aborts = Metrics.counter_value t.m.m_restripe_aborts;
+    interrupts_suppressed = Metrics.counter_value t.m.m_interrupts_suppressed;
+    irq_reasserts = Metrics.counter_value t.m.m_irq_reasserts;
   }
+
+(* Interrupt delivery with an optional loss filter (fault injection): a
+   filter returning false eats the assertion. Recovery from a lost
+   Rx_nonempty relies on the [irq_reassert] watchdog below. *)
+let raise_interrupt t reason =
+  match t.irq_filter with
+  | Some f when not (f reason) ->
+      Metrics.incr t.m.m_interrupts_suppressed;
+      Trace.emitf Trace.Fault ~now:(Engine.now t.eng) "interrupt suppressed"
+  | _ -> t.on_interrupt reason
+
+let set_irq_filter t f = t.irq_filter <- f
+
+(* Watchdog for lost receive interrupts: while a channel's receive queue
+   stays non-empty, re-assert Rx_nonempty every [irq_reassert] ns. The
+   event chain terminates as soon as the host drains the queue, so an
+   enabled watchdog adds no events at quiescence. *)
+let rec arm_reassert t ch =
+  if t.cfg.irq_reassert > 0 && not ch.reassert_armed then begin
+    ch.reassert_armed <- true;
+    ignore
+      (Engine.schedule t.eng ~delay:t.cfg.irq_reassert (fun () ->
+           ch.reassert_armed <- false;
+           if Desc_queue.count ch.rx_q > 0 then begin
+             Metrics.incr t.m.m_irq_reasserts;
+             raise_interrupt t (Rx_nonempty ch.id);
+             arm_reassert t ch
+           end))
+  end
 
 let kernel_channel t = t.channels.(0)
 
@@ -297,7 +362,8 @@ let bind_vci t ~vci ch =
     {
       vci;
       channel = ch;
-      sar = Sar.create t.cfg.reassembly ~max_cells:t.cfg.max_pdu_cells;
+      sar = Sar.create t.rx_strategy ~max_cells:t.cfg.max_pdu_cells;
+      last_progress = 0;
       bufs = Hashtbl.create 8;
       buf_size = 0;
       next_post = 0;
@@ -381,9 +447,20 @@ let validate_chain t ch chain =
       let all_ok = List.for_all ok chain in
       if not all_ok then begin
         Metrics.incr t.m.m_protection_faults;
-        t.on_interrupt (Protection_violation ch.id)
+        raise_interrupt t (Protection_violation ch.id)
       end;
       all_ok
+
+(* Stripe width segmentation targets: the live channels of the outgoing
+   trunk, so framing bits land where the receiver's narrowed per-link
+   reassembly expects them. Falls back to the configured width when every
+   channel is down (the cells vanish at the link anyway). *)
+let tx_stripe_width t =
+  match t.tx_link with
+  | Some l ->
+      let n = Atm_link.nlive l in
+      if n > 0 then n else t.cfg.nlinks
+  | None -> t.cfg.nlinks
 
 (* Read the next PDU chain from a channel's transmit queue (without
    advancing the tail) and set up segmentation state. *)
@@ -431,7 +508,7 @@ let try_load_pdu t ch =
                 let vci = (List.hd chain).Desc.vci in
                 let cells =
                   Array.of_list
-                    (Sar.segment ~vci ~nlinks:t.cfg.nlinks pdu)
+                    (Sar.segment ~vci ~nlinks:(tx_stripe_width t) pdu)
                 in
                 ch.txst <-
                   Some
@@ -471,7 +548,7 @@ let finish_pdu t ch (pdu : tx_pdu) () =
   t.tx_kicks <- t.tx_kicks + 1;
   Signal.broadcast t.tx_work;
   if Desc_queue.board_test_waiting ch.tx_q then
-    t.on_interrupt (Tx_half_empty ch.id)
+    raise_interrupt t (Tx_half_empty ch.id)
 
 (* Emit one scheduling quantum (one cell, or a pair under double-cell DMA)
    from the given channel: the i960 computes the DMA command and hands it
@@ -626,7 +703,10 @@ let deliver_desc t vc ch desc =
     (* Assert the interrupt iff ours is the only entry: the queue was empty
        at the instant of insertion (checking afterwards avoids the lost
        wake-up when the host drains while the enqueue is in progress). *)
-    if Desc_queue.count ch.rx_q = 1 then t.on_interrupt (Rx_nonempty ch.id)
+    if Desc_queue.count ch.rx_q = 1 then raise_interrupt t (Rx_nonempty ch.id);
+    (* Under fault injection the assertion above may have been eaten; the
+       watchdog (when configured) re-asserts while the queue is backed up. *)
+    arm_reassert t ch
   end
   else begin
     (* Receive-queue overflow: the host is hopelessly behind. The data (or
@@ -729,24 +809,49 @@ let dma_cmd_of_placement t vc (p : Sar.placement) ~completed_total =
 
 let release_stash t vc = Queue.transfer vc.stash t.pending_cells
 
-let drop_pdu t vc =
-  Metrics.incr t.m.m_pdus_dropped_no_buffer;
+(* Abandon the VC's in-progress PDU: recycle its buffers, reset the
+   reassembly and, if the host already holds part of its chain, terminate
+   that chain with an abort marker (len 0, eop) so the driver discards it.
+   [marker_addr] distinguishes the marker's cause on the host side: 0 for
+   board-decision aborts (loss/reject/no-buffer), [timeout_marker_addr]
+   for reassembly-timeout sweeps. Must run in process context when a
+   marker may be emitted (the enqueue suspends). *)
+let timeout_marker_addr = 1
+
+let abort_current_pdu t vc ~marker_addr =
   let partially_posted = vc.next_post > 0 in
   recycle_buffers vc;
   reset_vc vc;
   release_stash t vc;
-  vc.dropping <- true;
-  (* If the host already holds some of this PDU's buffers, terminate its
-     chain with an abort marker (len 0, eop) so it can discard them. *)
   if partially_posted then
     deliver_desc t vc vc.channel
-      (Desc.v ~addr:0 ~len:0 ~vci:vc.vci ~eop:true ())
+      (Desc.v ~addr:marker_addr ~len:0 ~vci:vc.vci ~eop:true ())
+
+let drop_pdu t vc =
+  Metrics.incr t.m.m_pdus_dropped_no_buffer;
+  abort_current_pdu t vc ~marker_addr:0;
+  vc.dropping <- true
 
 (* Process one received cell: reassembly decision plus DMA submission.
    Returns the placement when a further cell could be combined with it. *)
-let rx_handle_cell t (link, cell) =
+let rx_handle_cell t (phys_link, cell) =
   Metrics.incr t.m.m_cells_received;
   i960_work t t.cfg.rx_cycles_per_cell;
+  (* Physical channel -> logical stripe index. Identity while the trunk is
+     healthy; narrowed after a carrier loss. -1 = the channel died while
+     this cell sat in the input FIFO. Stashed/reprocessed cells keep the
+     physical index so they translate against the map current at
+     reprocessing time. *)
+  let link =
+    if phys_link >= 0 && phys_link < Array.length t.rx_link_map then
+      t.rx_link_map.(phys_link)
+    else phys_link
+  in
+  if link < 0 then begin
+    Metrics.incr t.m.m_cells_dropped;
+    None
+  end
+  else
   match Hashtbl.find_opt t.vcs cell.Cell.vci with
   | None ->
       Metrics.incr t.m.m_unknown_vci_cells;
@@ -764,16 +869,10 @@ let rx_handle_cell t (link, cell) =
           Trace.emitf Trace.Board_rx ~now:(Engine.now t.eng)
             "abandon incomplete PDU vci=%d (lost cells)" cell.Cell.vci;
           Metrics.incr t.m.m_reassembly_errors;
-          let partially_posted = vc.next_post > 0 in
-          recycle_buffers vc;
-          reset_vc vc;
-          release_stash t vc;
-          if partially_posted then
-            deliver_desc t vc vc.channel
-              (Desc.v ~addr:0 ~len:0 ~vci:vc.vci ~eop:true ());
+          abort_current_pdu t vc ~marker_addr:0;
           (* reprocess this cell against the fresh state, after the
              released stash *)
-          Queue.add (link, cell) t.pending_cells;
+          Queue.add (phys_link, cell) t.pending_cells;
           None
         end
         else begin
@@ -781,11 +880,12 @@ let rx_handle_cell t (link, cell) =
              the next PDU. Hold it until the current one completes. *)
           Trace.emitf Trace.Board_rx ~now:(Engine.now t.eng)
             "stash vci=%d seq=%d link=%d" cell.Cell.vci cell.Cell.seq link;
-          Queue.add (link, cell) vc.stash;
+          Queue.add (phys_link, cell) vc.stash;
           None
         end
       end
       else begin
+        let was_in_progress = Sar.in_progress vc.sar in
         match Sar.push vc.sar ~link cell with
         | Sar.Rejected reason ->
             Trace.emitf Trace.Board_rx ~now:(Engine.now t.eng)
@@ -793,15 +893,15 @@ let rx_handle_cell t (link, cell) =
               link reason;
             Metrics.incr t.m.m_reassembly_errors;
             Metrics.incr t.m.m_cells_dropped;
-            let partially_posted = vc.next_post > 0 in
-            recycle_buffers vc;
-            reset_vc vc;
-            release_stash t vc;
-            if partially_posted then
-              deliver_desc t vc vc.channel
-                (Desc.v ~addr:0 ~len:0 ~vci:vc.vci ~eop:true ());
+            abort_current_pdu t vc ~marker_addr:0;
             None
         | Sar.Placed p -> (
+            (* Progress for the timeout sweeper: the timer is an
+               inactivity bound, restarted by every placement. Wake the
+               sweeper when this VC (re)enters reassembly. *)
+            vc.last_progress <- Engine.now t.eng;
+            if (not was_in_progress) && t.cfg.reassembly_timeout > 0 then
+              Signal.broadcast t.sweep_work;
             match dma_cmd_of_placement t vc p ~completed_total:None with
             | None ->
                 drop_pdu t vc;
@@ -899,11 +999,112 @@ let rx_dma_engine t () =
   loop ()
 
 (* ------------------------------------------------------------------ *)
+(* Reassembly-timeout sweeper: a board process that bounds how long a VC
+   may sit mid-reassembly without progress. A cell lost on the wire on a
+   quiet VC otherwise wedges that VC forever (no later traffic triggers
+   the all-links-finished abandonment). Parks on a signal while nothing
+   is in progress, so an enabled sweeper holds no heap events at
+   quiescence beyond its final deadline check. *)
+
+let earliest_reassembly_deadline t =
+  Hashtbl.fold
+    (fun _ vc acc ->
+      if Sar.in_progress vc.sar then begin
+        let dl = vc.last_progress + t.cfg.reassembly_timeout in
+        match acc with Some d when d <= dl -> acc | _ -> Some dl
+      end
+      else acc)
+    t.vcs None
+
+let sweep_stuck_reassemblies t =
+  let now = Engine.now t.eng in
+  let stuck =
+    Hashtbl.fold
+      (fun _ vc acc ->
+        if
+          Sar.in_progress vc.sar
+          && now - vc.last_progress >= t.cfg.reassembly_timeout
+        then vc :: acc
+        else acc)
+      t.vcs []
+  in
+  List.iter
+    (fun vc ->
+      Metrics.incr t.m.m_reassembly_timeouts;
+      Trace.emitf Trace.Fault ~now "reassembly timeout vci=%d (idle %d ns)"
+        vc.vci (now - vc.last_progress);
+      abort_current_pdu t vc ~marker_addr:timeout_marker_addr)
+    stuck
+
+let reassembly_sweeper t () =
+  let rec loop () =
+    (match earliest_reassembly_deadline t with
+    | None -> Signal.wait t.sweep_work
+    | Some dl ->
+        let now = Engine.now t.eng in
+        if dl > now then Process.sleep t.eng (dl - now)
+        else sweep_stuck_reassemblies t);
+    loop ()
+  in
+  loop ()
+
+(* ------------------------------------------------------------------ *)
+(* Carrier transition on the incoming trunk: narrow (or widen) the
+   stripe. In-flight reassemblies cannot survive a width change — cell
+   positions were computed under the old width — so they are aborted with
+   accounting, stashed next-PDU cells are dropped, and every VC's
+   reassembly state is rebuilt for the new width. Boundary PDUs that mix
+   widths die by rejection or CRC; the trunk itself never stalls. *)
+
+let handle_rx_restripe t link =
+  let live = Atm_link.live_links link in
+  Array.fill t.rx_link_map 0 (Array.length t.rx_link_map) (-1);
+  List.iteri
+    (fun logical phys ->
+      if phys < Array.length t.rx_link_map then t.rx_link_map.(phys) <- logical)
+    live;
+  (match t.cfg.reassembly with
+  | Sar.Per_link _ -> t.rx_strategy <- Sar.Per_link (max 1 (List.length live))
+  | s -> t.rx_strategy <- s);
+  let victims =
+    Hashtbl.fold
+      (fun _ vc acc ->
+        let busy = Sar.in_progress vc.sar || not (Queue.is_empty vc.stash) in
+        (* Stashed cells were striped under the old width; they cannot be
+           replayed meaningfully. *)
+        Metrics.add t.m.m_cells_dropped (Queue.length vc.stash);
+        Queue.clear vc.stash;
+        let marker = busy && vc.next_post > 0 in
+        if busy then begin
+          Metrics.incr t.m.m_restripe_aborts;
+          recycle_buffers vc;
+          reset_vc vc
+        end;
+        vc.sar <- Sar.create t.rx_strategy ~max_cells:t.cfg.max_pdu_cells;
+        if marker then vc :: acc else acc)
+      t.vcs []
+  in
+  Trace.emitf Trace.Fault ~now:(Engine.now t.eng)
+    "restripe to %d live links (%d aborted reassemblies)" (List.length live)
+    (List.length victims);
+  (* Abort-marker enqueues suspend for dual-port accesses, and carrier
+     callbacks may run from an engine callback: hand them to a process. *)
+  if victims <> [] then
+    Process.spawn t.eng ~name:"restripe-abort" (fun () ->
+        List.iter
+          (fun vc ->
+            deliver_desc t vc vc.channel
+              (Desc.v ~addr:0 ~len:0 ~vci:vc.vci ~eop:true ()))
+          victims)
+
+(* ------------------------------------------------------------------ *)
 
 let attach t ~tx_link ~rx_link =
   t.tx_link <- Some tx_link;
+  t.rx_link <- Some rx_link;
   t.recv_fn <- Some (fun () -> Atm_link.recv rx_link);
-  t.try_recv_fn <- Some (fun () -> Atm_link.try_recv rx_link)
+  t.try_recv_fn <- Some (fun () -> Atm_link.try_recv rx_link);
+  Atm_link.on_link_change rx_link (fun () -> handle_rx_restripe t rx_link)
 
 let start_fictitious_source t ~pdus ?rate_mbps () =
   if pdus = [] then invalid_arg "Board.start_fictitious_source: no PDUs";
@@ -950,7 +1151,9 @@ let start t =
   Process.spawn t.eng ~name:"tx-sender" (tx_sender t);
   if t.recv_fn <> None then begin
     Process.spawn t.eng ~name:"rx-processor" (rx_processor t);
-    Process.spawn t.eng ~name:"rx-dma" (rx_dma_engine t)
+    Process.spawn t.eng ~name:"rx-dma" (rx_dma_engine t);
+    if t.cfg.reassembly_timeout > 0 then
+      Process.spawn t.eng ~name:"reassembly-sweeper" (reassembly_sweeper t)
   end;
   (* Wake the transmit processor whenever any channel gets new work; the
      kick counter is bumped synchronously inside the enqueue so a kick can
@@ -986,4 +1189,34 @@ let tx_idle t =
     (fun ch -> ch.txst = None && Desc_queue.is_empty ch.tx_q)
     t.channels
   && Mailbox.is_empty t.tx_fetch_q && Mailbox.is_empty t.tx_out
+
+(* ------------------------------------------------------------------ *)
+(* Accounting views for Osiris_core.Invariants (meaningful at
+   quiescence: buffers inside an in-flight DMA command are counted
+   neither here nor host-side until the command posts). *)
+
+let held_buffers t =
+  Hashtbl.fold
+    (fun _ vc acc ->
+      let unposted =
+        Hashtbl.fold (fun _ b n -> if b.posted then n else n + 1) vc.bufs 0
+      in
+      acc + unposted + Queue.length vc.fbufs)
+    t.vcs 0
+
+let reassemblies_in_progress t =
+  Hashtbl.fold
+    (fun _ vc acc -> if Sar.in_progress vc.sar then acc + 1 else acc)
+    t.vcs 0
+
+let oldest_reassembly_age t =
+  let now = Engine.now t.eng in
+  Hashtbl.fold
+    (fun _ vc acc ->
+      if Sar.in_progress vc.sar then begin
+        let age = now - vc.last_progress in
+        match acc with Some a when a >= age -> acc | _ -> Some age
+      end
+      else acc)
+    t.vcs None
 

@@ -69,6 +69,15 @@ type config = {
   max_pdu_cells : int;  (** reassembly window *)
   page_size : int;  (** DMA transactions never cross this boundary *)
   rx_fifo_cells : int;  (** input staging when fed by a generator *)
+  reassembly_timeout : Osiris_sim.Time.t;
+      (** abort a VC's reassembly after this much time without a placed
+          cell (0 = disabled, the default): the recovery path for cells
+          lost on an otherwise quiet VC, which no later traffic would
+          ever abandon *)
+  irq_reassert : Osiris_sim.Time.t;
+      (** watchdog period re-asserting [Rx_nonempty] while a receive
+          queue stays backed up (0 = disabled, the default): recovery
+          from a lost coalesced interrupt *)
 }
 
 val default_config : config
@@ -93,6 +102,12 @@ type stats = {
   mutable reassembly_errors : int;
   mutable protection_faults : int;
   mutable unknown_vci_cells : int;
+  mutable reassembly_timeouts : int;
+      (** stuck reassemblies swept by the timeout *)
+  mutable restripe_aborts : int;
+      (** in-flight reassemblies aborted by a stripe-width change *)
+  mutable interrupts_suppressed : int;  (** eaten by the fault filter *)
+  mutable irq_reasserts : int;  (** watchdog re-assertions *)
 }
 
 type t
@@ -163,6 +178,31 @@ val vci_buffer_count : t -> vci:int -> int
 
 val tx_idle : t -> bool
 (** True when no channel has transmit work pending or in progress. *)
+
+(** {2 Fault injection and recovery accounting} *)
+
+val set_irq_filter : t -> (interrupt_reason -> bool) option -> unit
+(** Install (or remove) an interrupt-loss filter: a filter returning
+    [false] eats the assertion (counted as [interrupts_suppressed]).
+    Recovery from eaten [Rx_nonempty] assertions requires the
+    [irq_reassert] watchdog. *)
+
+val timeout_marker_addr : int
+(** The [addr] field of abort markers (len 0, eop) emitted by the
+    reassembly-timeout sweeper; board-decision aborts use 0. Lets the
+    driver account the two causes separately. *)
+
+val held_buffers : t -> int
+(** Receive buffers currently owned by the board across all VCs: cached
+    per-VCI fbufs plus buffers of in-progress PDUs not yet posted to a
+    receive queue. Meaningful at quiescence (buffers riding an in-flight
+    DMA command are in neither side's count). *)
+
+val reassemblies_in_progress : t -> int
+
+val oldest_reassembly_age : t -> Osiris_sim.Time.t option
+(** Age (now - last placement) of the most-stale in-progress reassembly;
+    [None] when all VCs are idle. *)
 
 val debug_tx_state : t -> string
 (** One-line dump of the transmit machinery (queue depths, in-progress

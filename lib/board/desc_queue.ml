@@ -289,3 +289,53 @@ let board_test_waiting t =
     true
   end
   else false
+
+(* ------------------------------------------------------------------ *)
+(* Cost-free inspection for Osiris_core.Invariants: neither function
+   models dual-port accesses — they are the omniscient checker's view,
+   not a host or board operation. *)
+
+let contents t =
+  let n = count t in
+  List.filter_map Fun.id
+    (List.init n (fun i -> t.slots.((t.tail + i) mod t.size)))
+
+let check_invariants ?(name = "queue") t =
+  let errs = ref [] in
+  let err fmt =
+    Printf.ksprintf (fun s -> errs := (name ^ ": " ^ s) :: !errs) fmt
+  in
+  if t.head < 0 || t.head >= t.size then err "head %d out of range" t.head;
+  if t.tail < 0 || t.tail >= t.size then err "tail %d out of range" t.tail;
+  if t.shadow_head < 0 || t.shadow_head >= t.size then
+    err "shadow_head %d out of range" t.shadow_head;
+  if t.shadow_tail < 0 || t.shadow_tail >= t.size then
+    err "shadow_tail %d out of range" t.shadow_tail;
+  let n = count t in
+  if (t.n_enq - t.n_deq + t.size) mod t.size <> n mod t.size then
+    err "enq/deq totals (%d/%d) disagree with occupancy %d" t.n_enq t.n_deq n;
+  if t.n_enq < t.n_deq then err "more dequeues (%d) than enqueues (%d)" t.n_deq t.n_enq;
+  (* Occupied slots are exactly [tail, tail+count). *)
+  for i = 0 to t.size - 1 do
+    let occupied = (i - t.tail + t.size) mod t.size < n in
+    match t.slots.(i) with
+    | Some _ when not occupied -> err "slot %d populated outside [tail,head)" i
+    | None when occupied -> err "slot %d empty inside [tail,head)" i
+    | _ -> ()
+  done;
+  (* Shadow safety: a shadow is a stale copy of the pointer the other side
+     owns, so the occupancy computed from it must err toward "fuller"
+     (transmit direction) / "emptier" (receive direction) than reality —
+     the stale-but-safe discipline the lock-free design rests on. *)
+  (match t.direction with
+  | Host_to_board ->
+      let perceived = (t.head - t.shadow_tail + t.size) mod t.size in
+      if perceived < n then
+        err "shadow_tail overtook tail (perceived occupancy %d < actual %d)"
+          perceived n
+  | Board_to_host ->
+      let perceived = (t.shadow_head - t.tail + t.size) mod t.size in
+      if perceived > n then
+        err "shadow_head overtook head (perceived occupancy %d > actual %d)"
+          perceived n);
+  List.rev !errs

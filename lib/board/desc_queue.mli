@@ -133,3 +133,18 @@ type access_stats = {
 val access_stats : t -> access_stats
 (** Snapshot of the queue's access counters (also visible in the metrics
     registry under the queue's [metrics_prefix]). *)
+
+(** {2 Invariant checking}
+
+    Cost-free inspection for the fault-recovery invariant checker
+    ([Osiris_core.Invariants]); neither function models dual-port
+    accesses. *)
+
+val contents : t -> Desc.t list
+(** The descriptors currently queued, tail (oldest) first. *)
+
+val check_invariants : ?name:string -> t -> string list
+(** Structural consistency: pointers in range, occupancy matching the
+    enqueue/dequeue totals, slots populated exactly on [tail, head), and
+    shadow pointers stale in the safe direction only. Returns violation
+    descriptions prefixed with [name]; empty = consistent. *)

@@ -19,6 +19,7 @@ type stats = {
   mutable pdus_received : int;
   mutable bytes_received : int;
   mutable aborted_chains : int;
+  mutable timeout_aborts : int;
   mutable crc_drops : int;
   mutable undeliverable : int;
   mutable tx_full_stalls : int;
@@ -31,6 +32,7 @@ type m = {
   m_pdus_received : Metrics.counter;
   m_bytes_received : Metrics.counter;
   m_aborted_chains : Metrics.counter;
+  m_timeout_aborts : Metrics.counter;
   m_crc_drops : Metrics.counter;
   m_undeliverable : Metrics.counter;
   m_tx_full_stalls : Metrics.counter;
@@ -44,6 +46,7 @@ let make_driver_metrics () =
     m_pdus_received = Metrics.counter "driver.rx.pdus_received";
     m_bytes_received = Metrics.counter "driver.rx.bytes";
     m_aborted_chains = Metrics.counter "driver.rx.aborted_chains";
+    m_timeout_aborts = Metrics.counter "driver.rx.timeout_aborts";
     m_crc_drops = Metrics.counter "driver.rx.crc_drops";
     m_undeliverable = Metrics.counter "driver.rx.undeliverable";
     m_tx_full_stalls = Metrics.counter "driver.tx.full_stalls";
@@ -185,6 +188,7 @@ let stats t : stats =
     pdus_received = Metrics.counter_value t.m.m_pdus_received;
     bytes_received = Metrics.counter_value t.m.m_bytes_received;
     aborted_chains = Metrics.counter_value t.m.m_aborted_chains;
+    timeout_aborts = Metrics.counter_value t.m.m_timeout_aborts;
     crc_drops = Metrics.counter_value t.m.m_crc_drops;
     undeliverable = Metrics.counter_value t.m.m_undeliverable;
     tx_full_stalls = Metrics.counter_value t.m.m_tx_full_stalls;
@@ -192,6 +196,9 @@ let stats t : stats =
   }
 
 let pool_available t = Queue.length t.pool
+let total_buffers t = Hashtbl.length t.by_paddr
+let rx_buf_size t = t.buf_size
+let channel t = t.channel
 
 let buffer_regions t =
   Hashtbl.fold
@@ -228,8 +235,15 @@ let process_pdu t chain ~last =
   Cpu.consume_prio t.cpu ~priority:t.cpu_priority t.costs.rx_per_pdu;
   if List.exists (fun (d : Desc.t) -> d.Desc.len = 0) chain then begin
     (* Abort marker: the board abandoned this PDU after posting part of
-       it; discard and recycle. *)
-    Metrics.incr t.m.m_aborted_chains;
+       it; discard and recycle. The marker's addr distinguishes a
+       reassembly-timeout sweep from a board-decision abort. *)
+    if
+      List.exists
+        (fun (d : Desc.t) ->
+          d.Desc.len = 0 && d.Desc.addr = Board.timeout_marker_addr)
+        chain
+    then Metrics.incr t.m.m_timeout_aborts
+    else Metrics.incr t.m.m_aborted_chains;
     recycle_chain t chain;
     raise Exit
   end;
@@ -318,7 +332,10 @@ let rx_thread t () =
         (chain, nchain)
     | Some d ->
         Cpu.consume_prio t.cpu ~priority:t.cpu_priority t.costs.rx_per_buffer;
-        claim t 1;
+        (* Only real buffers count as outstanding: abort markers (len 0)
+           name no buffer, and claiming them would inflate the count by
+           one per abort, breaking buffer-conservation accounting. *)
+        if d.Desc.len > 0 then claim t 1;
         replenish_free_queue t;
         let chain = d :: chain in
         let nchain = nchain + 1 in

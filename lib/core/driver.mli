@@ -27,6 +27,10 @@ type stats = {
   mutable bytes_received : int;
   mutable aborted_chains : int;
       (** partial chains discarded after a board-side PDU abort *)
+  mutable timeout_aborts : int;
+      (** partial chains discarded after a board reassembly-timeout sweep
+          (distinguished by the marker's address; see
+          {!Osiris_board.Board.timeout_marker_addr}) *)
   mutable crc_drops : int;
   mutable undeliverable : int;  (** PDUs whose VCI had no demux binding *)
   mutable tx_full_stalls : int;  (** times send found the transmit queue full *)
@@ -90,3 +94,13 @@ val outstanding_buffers : t -> int
 val buffer_regions : t -> Osiris_mem.Pbuf.t list
 (** Physical extents of every receive buffer this driver owns — the pages
     an ADC's on-board protection list must authorize. *)
+
+val total_buffers : t -> int
+(** Size of the circulating receive pool: the conserved quantity of the
+    buffer-conservation invariant. *)
+
+val rx_buf_size : t -> int
+(** Capacity of each pool buffer (after the page-size clamp). *)
+
+val channel : t -> Osiris_board.Board.channel
+(** The board channel this driver serves. *)

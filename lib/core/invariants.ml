@@ -1,0 +1,75 @@
+module Board = Osiris_board.Board
+module Desc = Osiris_board.Desc
+module Desc_queue = Osiris_board.Desc_queue
+
+(* A violation is a human-readable sentence; an empty list means clean.
+   Checks are read-only and cost-free (no simulated cycles charged), so
+   they may run mid-experiment — but the buffer-conservation equation
+   only balances at quiescence, when no buffer is riding an in-flight
+   DMA or sitting in a half-drained receive batch. *)
+
+let queue_violations channel =
+  List.concat
+    [
+      Desc_queue.check_invariants ~name:"tx" (Board.tx_queue channel);
+      Desc_queue.check_invariants ~name:"free" (Board.free_queue channel);
+      Desc_queue.check_invariants ~name:"rx" (Board.rx_queue channel);
+    ]
+
+let real_descs q =
+  List.length (List.filter (fun d -> d.Desc.len > 0) (Desc_queue.contents q))
+
+let conservation_violations ~board ~driver =
+  let channel = Driver.channel driver in
+  let total = Driver.total_buffers driver in
+  let pool = Driver.pool_available driver in
+  let outstanding = Driver.outstanding_buffers driver in
+  let in_free = real_descs (Board.free_queue channel) in
+  let in_rx = real_descs (Board.rx_queue channel) in
+  let on_board = Board.held_buffers board in
+  let accounted = pool + outstanding + in_free + in_rx + on_board in
+  if accounted <> total then
+    [
+      Printf.sprintf
+        "buffer conservation: pool %d + outstanding %d + free-q %d + rx-q %d \
+         + board-held %d = %d, expected %d (leaked %d)"
+        pool outstanding in_free in_rx on_board accounted total
+        (total - accounted);
+    ]
+  else []
+
+let reassembly_violations ~board =
+  let cfg = Board.config board in
+  let timeout = cfg.Board.reassembly_timeout in
+  if timeout <= 0 then []
+  else
+    match Board.oldest_reassembly_age board with
+    | Some age when age > timeout ->
+        [
+          Printf.sprintf
+            "reassembly older than timeout: oldest age %dns > %dns" age
+            timeout;
+        ]
+    | _ -> []
+
+let quiescence_violations ~board =
+  match Board.reassemblies_in_progress board with
+  | 0 -> []
+  | n -> [ Printf.sprintf "%d reassemblies still in progress at quiescence" n ]
+
+let check ?(quiescent = false) ~board ~driver () =
+  List.concat
+    [
+      queue_violations (Driver.channel driver);
+      conservation_violations ~board ~driver;
+      reassembly_violations ~board;
+      (if quiescent then quiescence_violations ~board else []);
+    ]
+
+let assert_clean ?quiescent ~board ~driver () =
+  match check ?quiescent ~board ~driver () with
+  | [] -> ()
+  | vs ->
+      failwith
+        (Printf.sprintf "invariant violations:\n  %s"
+           (String.concat "\n  " vs))

@@ -1,0 +1,46 @@
+(** Whole-path sanity checks for fault-injection runs.
+
+    Each check returns human-readable violation sentences (empty = clean)
+    and performs no simulated work, so they can run at any instant. The
+    buffer-conservation equation, however, only balances at quiescence:
+    every circulating receive buffer must then be in exactly one of five
+    places — the driver's idle pool, delivered upstream and not yet
+    recycled, queued as a free descriptor, posted to the receive queue,
+    or held on the board (per-VC staging or preallocated fbuf lists).
+    A shortfall is a leak; an excess is double-accounting. *)
+
+val queue_violations : Osiris_board.Board.channel -> string list
+(** Descriptor-queue structural checks (pointer ranges, occupancy
+    arithmetic, shadow-pointer safety) on the channel's transmit, free
+    and receive queues. *)
+
+val conservation_violations :
+  board:Osiris_board.Board.t -> driver:Driver.t -> string list
+(** The buffer-conservation equation above. Only meaningful at
+    quiescence, and for configurations in which [driver]'s pool is the
+    only one circulating through [board]. *)
+
+val reassembly_violations : board:Osiris_board.Board.t -> string list
+(** No partial reassembly may be older than the configured
+    [reassembly_timeout] (vacuously clean when the sweeper is off). *)
+
+val quiescence_violations : board:Osiris_board.Board.t -> string list
+(** After traffic has stopped and timeouts have swept, no reassembly
+    may remain in progress. *)
+
+val check :
+  ?quiescent:bool ->
+  board:Osiris_board.Board.t ->
+  driver:Driver.t ->
+  unit ->
+  string list
+(** All of the above ([quiescent] additionally demands zero residual
+    reassemblies). *)
+
+val assert_clean :
+  ?quiescent:bool ->
+  board:Osiris_board.Board.t ->
+  driver:Driver.t ->
+  unit ->
+  unit
+(** [failwith] with every violation listed, for test use. *)

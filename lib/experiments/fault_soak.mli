@@ -1,0 +1,48 @@
+(** Randomized multi-fault soak over the full host-to-host path.
+
+    Each run builds two hosts with recovery machinery enabled (board
+    reassembly timeout 2 ms, interrupt re-assert 500 µs), streams raw-VCI
+    PDUs whose every byte is a pure function of the message index, and
+    applies a seeded {!Osiris_fault.Plan} (cell drop, payload and header
+    corruption, duplication, a carrier outage, an rx-FIFO squeeze, and
+    lost receive interrupts) to the forward link and receiving board.
+    After a fault-free grace period it checks the outcome against the
+    robustness contract: goodput above zero, nothing delivered that is
+    not byte-identical to a sent PDU, and {!Osiris_core.Invariants}
+    clean at quiescence. *)
+
+type outcome = {
+  seed : int;
+  plan : string;  (** {!Osiris_fault.Plan.to_string}, for reproduction *)
+  sent : int;
+  delivered : int;
+  corrupted_delivered : int;  (** must be 0: CRC must catch every fault *)
+  goodput_mbps : float;  (** byte-verified payload over the whole run *)
+  timeout_aborts : int;  (** driver-side, from timeout marker chains *)
+  board_timeouts : int;  (** board sweeper firings *)
+  restripe_aborts : int;  (** PDUs sacrificed to carrier-loss re-striping *)
+  duplicated_cells : int;
+  residual_reassemblies : int;  (** must be 0 at quiescence *)
+  violations : string list;  (** must be empty *)
+}
+
+val run :
+  ?machine:Osiris_core.Machine.t ->
+  ?seed:int ->
+  ?msgs:int ->
+  ?msg_size:int ->
+  ?horizon:Osiris_sim.Time.t ->
+  ?grace:Osiris_sim.Time.t ->
+  ?plan:Osiris_fault.Plan.t ->
+  unit ->
+  outcome
+(** One soak iteration. [plan] defaults to
+    [Osiris_fault.Plan.random ~seed ~horizon]; [grace] runs after the
+    injector is disarmed so timeout sweeps and re-asserted interrupts can
+    finish recovery. *)
+
+val pp_outcome : Format.formatter -> outcome -> unit
+
+val figure_goodput_vs_drop : unit -> Report.figure
+(** The BENCH.json curve: byte-verified goodput as a whole-run cell-drop
+    burst sweeps [0 .. 0.008]. *)

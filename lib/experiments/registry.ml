@@ -100,6 +100,13 @@ let all =
       description = "3.2: ADC vs kernel paths; protection check";
       kind = Table Ablation_adc.table;
     };
+    {
+      id = "fault-sweep";
+      description =
+        "robustness: byte-verified goodput vs cell-drop probability, \
+         recovery timers on";
+      kind = Figure (fun () -> Fault_soak.figure_goodput_vs_drop ());
+    };
   ]
 
 let quick =

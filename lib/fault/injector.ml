@@ -1,0 +1,99 @@
+open Osiris_sim
+module Atm_link = Osiris_link.Atm_link
+module Board = Osiris_board.Board
+module Rng = Osiris_util.Rng
+module Metrics = Osiris_obs.Metrics
+module Trace = Osiris_sim.Trace
+
+type t = {
+  eng : Engine.t;
+  rng : Rng.t; (* interrupt-loss draws only *)
+  plan : Plan.t;
+  link : Atm_link.t;
+  board : Board.t option;
+  base : Atm_link.config;
+  mutable irq_prob : float;
+  mutable armed : bool;
+  m_events : Metrics.counter;
+  m_irq_draws : Metrics.counter;
+}
+
+(* Re-derive every knob from the plan at [now] and push it into the
+   simulation. Idempotent, so overlapping windows and replayed boundaries
+   are harmless. *)
+let apply t now =
+  let k = Plan.knobs_at t.plan now in
+  Atm_link.set_drop_prob t.link (Float.max t.base.Atm_link.drop_prob k.Plan.k_drop);
+  Atm_link.set_corrupt_prob t.link
+    (Float.max t.base.Atm_link.corrupt_prob k.Plan.k_corrupt);
+  Atm_link.set_corrupt_header_prob t.link
+    (Float.max t.base.Atm_link.corrupt_header_prob k.Plan.k_header);
+  Atm_link.set_dup_prob t.link (Float.max t.base.Atm_link.dup_prob k.Plan.k_dup);
+  for l = 0 to t.base.Atm_link.nlinks - 1 do
+    Atm_link.set_link_state t.link ~link:l (not (List.mem l k.Plan.k_down))
+  done;
+  Atm_link.set_rx_fifo_limit t.link
+    (match k.Plan.k_squeeze with
+    | Some cap -> cap
+    | None -> t.base.Atm_link.rx_fifo_cells);
+  t.irq_prob <- k.Plan.k_irq_loss
+
+let inject eng ~plan ~link ?board () =
+  let t =
+    {
+      eng;
+      rng = Rng.create ~seed:(plan.Plan.seed lxor 0x5eed_f417);
+      plan;
+      link;
+      board;
+      base = Atm_link.config link;
+      irq_prob = 0.0;
+      armed = true;
+      m_events = Metrics.counter "fault.plan_events";
+      m_irq_draws = Metrics.counter "fault.irq_loss_draws";
+    }
+  in
+  (match board with
+  | None -> ()
+  | Some b ->
+      Board.set_irq_filter b
+        (Some
+           (fun reason ->
+             match reason with
+             | Board.Rx_nonempty _ when t.armed && t.irq_prob > 0.0 ->
+                 Metrics.incr t.m_irq_draws;
+                 not (Rng.float t.rng 1.0 < t.irq_prob)
+             | _ -> true)));
+  Trace.emitf Trace.Fault ~now:(Engine.now eng) "inject plan [%s]"
+    (Plan.to_string plan);
+  let now = Engine.now eng in
+  List.iter
+    (fun time ->
+      if time > now then
+        ignore
+          (Engine.schedule_at eng ~time (fun () ->
+               if t.armed then begin
+                 Metrics.incr t.m_events;
+                 Trace.emitf Trace.Fault ~now:time "plan boundary";
+                 apply t time
+               end)))
+    (Plan.boundaries plan);
+  apply t now;
+  t
+
+let disarm t =
+  if t.armed then begin
+    t.armed <- false;
+    t.irq_prob <- 0.0;
+    Atm_link.set_drop_prob t.link t.base.Atm_link.drop_prob;
+    Atm_link.set_corrupt_prob t.link t.base.Atm_link.corrupt_prob;
+    Atm_link.set_corrupt_header_prob t.link t.base.Atm_link.corrupt_header_prob;
+    Atm_link.set_dup_prob t.link t.base.Atm_link.dup_prob;
+    Atm_link.set_rx_fifo_limit t.link t.base.Atm_link.rx_fifo_cells;
+    for l = 0 to t.base.Atm_link.nlinks - 1 do
+      Atm_link.set_link_state t.link ~link:l true
+    done;
+    Trace.emitf Trace.Fault ~now:(Engine.now t.eng) "injector disarmed"
+  end
+
+let plan t = t.plan

@@ -1,0 +1,33 @@
+(** Applies a {!Plan} to a running simulation.
+
+    The injector schedules one engine event per plan boundary; each event
+    re-derives every knob from the plan at that instant and pushes it
+    into the link (loss/corruption/duplication probabilities, carrier
+    state, receive-FIFO squeeze) and, when a board is supplied, an
+    interrupt-loss filter drawing from the injector's own seeded RNG.
+    The traffic RNG streams are untouched, so the same traffic seed with
+    different plans stays comparable.
+
+    Injection events count into the metrics registry ([fault.*]) and
+    trace under [Trace.Fault]. *)
+
+type t
+
+val inject :
+  Osiris_sim.Engine.t ->
+  plan:Plan.t ->
+  link:Osiris_link.Atm_link.t ->
+  ?board:Osiris_board.Board.t ->
+  unit ->
+  t
+(** Arm the plan on [link] (the faulted direction) and, optionally, the
+    interrupt-loss filter on [board] (the receiving side). Knobs active
+    at the current instant are applied immediately; every later boundary
+    is scheduled. Call from process context or an engine callback. *)
+
+val disarm : t -> unit
+(** Restore every knob to the link's configured baseline, raise all
+    carriers, zero the interrupt-loss probability and deactivate pending
+    boundary events. Used before measuring quiescence. *)
+
+val plan : t -> Plan.t

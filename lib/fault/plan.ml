@@ -1,0 +1,210 @@
+module Time = Osiris_sim.Time
+module Rng = Osiris_util.Rng
+
+type burst = { b_from : Time.t; b_until : Time.t; prob : float }
+type window = { w_from : Time.t; w_until : Time.t }
+
+type t = {
+  seed : int;
+  drop : burst list;
+  corrupt : burst list;
+  corrupt_header : burst list;
+  duplicate : burst list;
+  link_down : (int * window) list;
+  rx_squeeze : (int * window) list;
+  irq_loss : burst list;
+}
+
+let none =
+  {
+    seed = 0;
+    drop = [];
+    corrupt = [];
+    corrupt_header = [];
+    duplicate = [];
+    link_down = [];
+    rx_squeeze = [];
+    irq_loss = [];
+  }
+
+type knobs = {
+  k_drop : float;
+  k_corrupt : float;
+  k_header : float;
+  k_dup : float;
+  k_irq_loss : float;
+  k_down : int list;  (* channels whose carrier is cut *)
+  k_squeeze : int option;  (* tightest active rx-FIFO capacity *)
+}
+
+let active_prob bursts now =
+  List.fold_left
+    (fun acc b ->
+      if now >= b.b_from && now < b.b_until then Float.max acc b.prob else acc)
+    0.0 bursts
+
+let knobs_at t now =
+  {
+    k_drop = active_prob t.drop now;
+    k_corrupt = active_prob t.corrupt now;
+    k_header = active_prob t.corrupt_header now;
+    k_dup = active_prob t.duplicate now;
+    k_irq_loss = active_prob t.irq_loss now;
+    k_down =
+      List.filter_map
+        (fun (l, w) ->
+          if now >= w.w_from && now < w.w_until then Some l else None)
+        t.link_down;
+    k_squeeze =
+      List.fold_left
+        (fun acc (cap, w) ->
+          if now >= w.w_from && now < w.w_until then
+            match acc with Some c when c <= cap -> acc | _ -> Some cap
+          else acc)
+        None t.rx_squeeze;
+  }
+
+let boundaries t =
+  let of_burst b = [ b.b_from; b.b_until ] in
+  let of_window w = [ w.w_from; w.w_until ] in
+  List.concat
+    [
+      List.concat_map of_burst t.drop;
+      List.concat_map of_burst t.corrupt;
+      List.concat_map of_burst t.corrupt_header;
+      List.concat_map of_burst t.duplicate;
+      List.concat_map of_burst t.irq_loss;
+      List.concat_map (fun (_, w) -> of_window w) t.link_down;
+      List.concat_map (fun (_, w) -> of_window w) t.rx_squeeze;
+    ]
+  |> List.sort_uniq compare
+
+(* ------------------------------------------------------------------ *)
+(* Randomized plans: every choice below is a pure function of [seed], so
+   a soak failure reproduces from the seed alone. *)
+
+let random ?(nlinks = 4) ~seed ~horizon () =
+  let rng = Rng.create ~seed in
+  let h = float_of_int horizon in
+  (* Windows live in [5%, 90%] of the horizon so the post-fault grace
+     period is fault-free and the run can quiesce. *)
+  let window () =
+    let from = 0.05 +. Rng.float rng 0.55 in
+    let len = 0.05 +. Rng.float rng 0.30 in
+    let w_from = int_of_float (from *. h) in
+    let w_until = min (int_of_float ((from +. len) *. h)) (int_of_float (0.9 *. h)) in
+    { w_from; w_until = max w_until (w_from + 1) }
+  in
+  let burst lo spread =
+    let w = window () in
+    { b_from = w.w_from; b_until = w.w_until; prob = lo +. Rng.float rng spread }
+  in
+  let bursts n lo spread = List.init n (fun _ -> burst lo spread) in
+  {
+    seed;
+    drop = bursts (1 + Rng.int rng 2) 0.0005 0.0045;
+    corrupt = bursts 1 0.0005 0.0025;
+    corrupt_header = bursts 1 0.0002 0.0008;
+    duplicate = bursts 1 0.0005 0.0045;
+    link_down = [ (Rng.int rng nlinks, window ()) ];
+    rx_squeeze = [ (4 + Rng.int rng 5, window ()) ];
+    irq_loss = bursts 1 (0.2 +. Rng.float rng 0.4) 0.0;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Compact textual form, round-trippable, usable from OSIRIS_FAULT_PLAN.
+   Times are integer ns with optional us/ms/s suffix on input. *)
+
+let sprint_burst key b =
+  Printf.sprintf "%s@%d-%d=%g" key b.b_from b.b_until b.prob
+
+let to_string t =
+  String.concat ";"
+    (Printf.sprintf "seed=%d" t.seed
+     :: List.map (sprint_burst "drop") t.drop
+    @ List.map (sprint_burst "corrupt") t.corrupt
+    @ List.map (sprint_burst "hdr") t.corrupt_header
+    @ List.map (sprint_burst "dup") t.duplicate
+    @ List.map (sprint_burst "irqloss") t.irq_loss
+    @ List.map
+        (fun (l, w) -> Printf.sprintf "down#%d@%d-%d" l w.w_from w.w_until)
+        t.link_down
+    @ List.map
+        (fun (c, w) -> Printf.sprintf "squeeze#%d@%d-%d" c w.w_from w.w_until)
+        t.rx_squeeze)
+
+let parse_time s =
+  let num mult suffix =
+    let body = String.sub s 0 (String.length s - String.length suffix) in
+    int_of_float (float_of_string body *. mult)
+  in
+  if Filename.check_suffix s "us" then num 1e3 "us"
+  else if Filename.check_suffix s "ms" then num 1e6 "ms"
+  else if Filename.check_suffix s "ns" then num 1.0 "ns"
+  else if Filename.check_suffix s "s" then num 1e9 "s"
+  else int_of_string s
+
+let parse_range s =
+  match String.split_on_char '-' s with
+  | [ a; b ] -> (parse_time a, parse_time b)
+  | _ -> failwith ("Fault_plan: bad time range " ^ s)
+
+let of_string s =
+  let t = ref { none with seed = 0 } in
+  let item part =
+    match String.index_opt part '=' with
+    | _ when String.trim part = "" -> ()
+    | _ -> (
+        let key, rest =
+          match String.index_opt part '@' with
+          | Some i ->
+              (String.sub part 0 i,
+               String.sub part (i + 1) (String.length part - i - 1))
+          | None -> (part, "")
+        in
+        let key, arg =
+          match String.index_opt key '#' with
+          | Some i ->
+              (String.sub key 0 i,
+               int_of_string (String.sub key (i + 1) (String.length key - i - 1)))
+          | None -> (key, 0)
+        in
+        match key with
+        | _ when String.length key >= 5 && String.sub key 0 5 = "seed=" ->
+            t := { !t with seed = int_of_string (String.sub key 5 (String.length key - 5)) }
+        | "drop" | "corrupt" | "hdr" | "dup" | "irqloss" -> (
+            match String.split_on_char '=' rest with
+            | [ range; p ] ->
+                let b_from, b_until = parse_range range in
+                let b = { b_from; b_until; prob = float_of_string p } in
+                t :=
+                  (match key with
+                  | "drop" -> { !t with drop = !t.drop @ [ b ] }
+                  | "corrupt" -> { !t with corrupt = !t.corrupt @ [ b ] }
+                  | "hdr" ->
+                      { !t with corrupt_header = !t.corrupt_header @ [ b ] }
+                  | "dup" -> { !t with duplicate = !t.duplicate @ [ b ] }
+                  | _ -> { !t with irq_loss = !t.irq_loss @ [ b ] })
+            | _ -> failwith ("Fault_plan: bad burst " ^ part))
+        | "down" ->
+            let w_from, w_until = parse_range rest in
+            t :=
+              { !t with link_down = !t.link_down @ [ (arg, { w_from; w_until }) ] }
+        | "squeeze" ->
+            let w_from, w_until = parse_range rest in
+            t :=
+              {
+                !t with
+                rx_squeeze = !t.rx_squeeze @ [ (arg, { w_from; w_until }) ];
+              }
+        | _ -> failwith ("Fault_plan: unknown item " ^ part))
+  in
+  List.iter item (String.split_on_char ';' s);
+  !t
+
+let of_env () =
+  match Sys.getenv_opt "OSIRIS_FAULT_PLAN" with
+  | None | Some "" -> None
+  | Some s -> Some (of_string s)
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)

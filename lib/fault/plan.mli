@@ -1,0 +1,67 @@
+(** Deterministic, seeded fault plans.
+
+    A plan is a pure description of {e when} each fault dimension is
+    active and how hard: probabilistic bursts (cell drop, payload
+    corruption, header corruption, duplication, interrupt loss) and timed
+    windows (per-channel carrier loss, receive-FIFO squeeze). Plans are
+    data — applying one to a running simulation is {!Injector}'s job.
+
+    {!random} derives every choice from its seed, so a soak failure
+    reproduces from the seed alone; {!to_string}/{!of_string} round-trip
+    a plan through the compact textual form also accepted from the
+    [OSIRIS_FAULT_PLAN] environment variable (times are integer
+    nanoseconds, with [us]/[ms]/[s] suffixes accepted on input):
+
+    {v seed=7;drop@2ms-5ms=0.002;down#2@3ms-4ms;squeeze#4@1ms-2ms v} *)
+
+type burst = {
+  b_from : Osiris_sim.Time.t;
+  b_until : Osiris_sim.Time.t;  (** exclusive *)
+  prob : float;  (** per-cell (or per-interrupt) probability while active *)
+}
+
+type window = { w_from : Osiris_sim.Time.t; w_until : Osiris_sim.Time.t }
+
+type t = {
+  seed : int;
+  drop : burst list;
+  corrupt : burst list;  (** payload byte flips *)
+  corrupt_header : burst list;  (** VCI/seq mangles (misdelivery) *)
+  duplicate : burst list;
+  link_down : (int * window) list;  (** (channel, outage window) *)
+  rx_squeeze : (int * window) list;  (** (fifo capacity, window) *)
+  irq_loss : burst list;  (** lost coalesced receive interrupts *)
+}
+
+val none : t
+
+(** The effective knob values at one instant (overlapping bursts take the
+    max probability; overlapping squeezes the tightest capacity). *)
+type knobs = {
+  k_drop : float;
+  k_corrupt : float;
+  k_header : float;
+  k_dup : float;
+  k_irq_loss : float;
+  k_down : int list;
+  k_squeeze : int option;
+}
+
+val knobs_at : t -> Osiris_sim.Time.t -> knobs
+
+val boundaries : t -> Osiris_sim.Time.t list
+(** Every instant at which some knob changes, sorted, deduplicated — the
+    times an injector must re-apply {!knobs_at}. *)
+
+val random : ?nlinks:int -> seed:int -> horizon:Osiris_sim.Time.t -> unit -> t
+(** A multi-dimension plan whose windows all end by 90% of [horizon]
+    (leaving a fault-free grace period to quiesce in), derived entirely
+    from [seed]. *)
+
+val to_string : t -> string
+val of_string : string -> t
+
+val of_env : unit -> t option
+(** Parse [OSIRIS_FAULT_PLAN] when set and non-empty. *)
+
+val pp : Format.formatter -> t -> unit

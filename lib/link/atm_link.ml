@@ -12,6 +12,8 @@ type config = {
   jitter_mean : Time.t;
   corrupt_prob : float;
   drop_prob : float;
+  dup_prob : float;
+  corrupt_header_prob : float;
   tx_fifo_cells : int;
   rx_fifo_cells : int;
 }
@@ -25,6 +27,8 @@ let default_config =
     jitter_mean = 0;
     corrupt_prob = 0.0;
     drop_prob = 0.0;
+    dup_prob = 0.0;
+    corrupt_header_prob = 0.0;
     tx_fifo_cells = 2;
     rx_fifo_cells = 32;
   }
@@ -42,6 +46,9 @@ type stats = {
   mutable dropped_net : int;
   mutable corrupted : int;
   mutable reordered : int;
+  mutable duplicated : int;
+  mutable header_corrupted : int;
+  mutable dropped_link_down : int;
 }
 
 (* Registry handles behind [stats]; [stats t] snapshots them. *)
@@ -52,6 +59,10 @@ type m = {
   m_dropped_net : Metrics.counter;
   m_corrupted : Metrics.counter;
   m_reordered : Metrics.counter;
+  m_duplicated : Metrics.counter;
+  m_header_corrupted : Metrics.counter;
+  m_dropped_link_down : Metrics.counter;
+  m_link_transitions : Metrics.counter;
 }
 
 type t = {
@@ -64,6 +75,18 @@ type t = {
   busy_until : Time.t array; (* per-channel serializer booking *)
   last_delivery : Time.t array; (* per-channel FIFO enforcement *)
   inbox : (int * Cell.t) Mailbox.t;
+  (* Fault-injection state, adjustable at runtime (Osiris_fault.Injector).
+     Initialized from [cfg]; when every knob matches the config the RNG
+     draw sequence is identical to a build without fault support. *)
+  mutable drop_prob : float;
+  mutable corrupt_prob : float;
+  mutable dup_prob : float;
+  mutable corrupt_header_prob : float;
+  link_up : bool array; (* per-channel carrier state *)
+  mutable live : int array; (* channels with carrier, ascending *)
+  mutable rx_limit : int; (* rx FIFO squeeze (<= rx_fifo_cells) *)
+  mutable cell_filter : (int -> Cell.t -> bool) option;
+  mutable on_change : (unit -> unit) list;
   m : m;
 }
 
@@ -86,6 +109,15 @@ let create eng rng cfg =
     busy_until = Array.make cfg.nlinks 0;
     last_delivery = Array.make cfg.nlinks 0;
     inbox = Mailbox.create eng ~capacity:cfg.rx_fifo_cells ();
+    drop_prob = cfg.drop_prob;
+    corrupt_prob = cfg.corrupt_prob;
+    dup_prob = cfg.dup_prob;
+    corrupt_header_prob = cfg.corrupt_header_prob;
+    link_up = Array.make cfg.nlinks true;
+    live = Array.init cfg.nlinks (fun i -> i);
+    rx_limit = cfg.rx_fifo_cells;
+    cell_filter = None;
+    on_change = [];
     m =
       {
         m_sent = Metrics.counter "link.cells_sent";
@@ -94,74 +126,178 @@ let create eng rng cfg =
         m_dropped_net = Metrics.counter "link.dropped_net";
         m_corrupted = Metrics.counter "link.corrupted";
         m_reordered = Metrics.counter "link.reordered";
+        m_duplicated = Metrics.counter "link.duplicated";
+        m_header_corrupted = Metrics.counter "link.header_corrupted";
+        m_dropped_link_down = Metrics.counter "link.dropped_link_down";
+        m_link_transitions = Metrics.counter "link.link_transitions";
       };
   }
 
 let config t = t.cfg
 
-let deliver t link seq cell =
-  if seq > t.max_delivered_seq then t.max_delivered_seq <- seq
-  else begin
-    Metrics.incr t.m.m_reordered;
-    Trace.emitf Trace.Link ~now:(Engine.now t.eng)
-      "reordered arrival link=%d trunk_seq=%d" link seq
-  end;
-  if Mailbox.try_send t.inbox (link, cell) then
-    Metrics.incr t.m.m_delivered
-  else begin
-    Metrics.incr t.m.m_dropped_fifo;
-    Trace.emitf Trace.Link ~now:(Engine.now t.eng)
-      "rx fifo overflow link=%d trunk_seq=%d" link seq
+(* ---------------------------------------------------------------- *)
+(* Runtime fault knobs.                                             *)
+
+let set_drop_prob t p = t.drop_prob <- p
+let set_corrupt_prob t p = t.corrupt_prob <- p
+let set_dup_prob t p = t.dup_prob <- p
+let set_corrupt_header_prob t p = t.corrupt_header_prob <- p
+
+let set_rx_fifo_limit t n =
+  t.rx_limit <- max 1 (min n t.cfg.rx_fifo_cells)
+
+let rx_fifo_limit t = t.rx_limit
+let set_cell_filter t f = t.cell_filter <- f
+let on_link_change t f = t.on_change <- f :: t.on_change
+let link_is_up t link = t.link_up.(link)
+let nlive t = Array.length t.live
+let live_links t = Array.to_list t.live
+
+let set_link_state t ~link up =
+  if link < 0 || link >= t.cfg.nlinks then
+    invalid_arg "Atm_link.set_link_state: link out of range";
+  if t.link_up.(link) <> up then begin
+    t.link_up.(link) <- up;
+    t.live <-
+      Array.of_list
+        (List.filter
+           (fun i -> t.link_up.(i))
+           (List.init t.cfg.nlinks (fun i -> i)));
+    Metrics.incr t.m.m_link_transitions;
+    Trace.emitf Trace.Fault ~now:(Engine.now t.eng) "link %d %s (%d/%d live)"
+      link
+      (if up then "up" else "down")
+      (Array.length t.live) t.cfg.nlinks;
+    List.iter (fun f -> f ()) t.on_change
   end
+
+let deliver t link seq ~dup cell =
+  if not t.link_up.(link) then begin
+    (* Carrier dropped while the cell was in flight. *)
+    Metrics.incr t.m.m_dropped_link_down;
+    Trace.emitf Trace.Fault ~now:(Engine.now t.eng)
+      "cell lost to dead link %d trunk_seq=%d" link seq
+  end
+  else
+    match t.cell_filter with
+    | Some f when not (f link cell) ->
+        Metrics.incr t.m.m_dropped_net;
+        Trace.emitf Trace.Fault ~now:(Engine.now t.eng)
+          "cell filtered on link %d trunk_seq=%d" link seq
+    | _ ->
+        if dup then Metrics.incr t.m.m_duplicated
+        else if seq > t.max_delivered_seq then t.max_delivered_seq <- seq
+        else begin
+          Metrics.incr t.m.m_reordered;
+          Trace.emitf Trace.Link ~now:(Engine.now t.eng)
+            "reordered arrival link=%d trunk_seq=%d" link seq
+        end;
+        if
+          Mailbox.length t.inbox < t.rx_limit
+          && Mailbox.try_send t.inbox (link, cell)
+        then Metrics.incr t.m.m_delivered
+        else begin
+          Metrics.incr t.m.m_dropped_fifo;
+          Trace.emitf Trace.Link ~now:(Engine.now t.eng)
+            "rx fifo overflow link=%d trunk_seq=%d" link seq
+        end
 
 let send t cell =
   (* Cell k of a PDU travels on link k mod n (paper 2.6): the link choice
      is a deterministic function of the cell's AAL sequence number, so the
      receiver's per-link reassembly can reconstruct each cell's position
      from (link, per-link arrival index) alone, even when PDUs of several
-     VCs are interleaved on the striped trunk. *)
-  let l = cell.Cell.seq mod t.cfg.nlinks in
+     VCs are interleaved on the striped trunk. Under link failure the
+     stripe narrows to the surviving channels (in ascending order), and
+     the sender's segmentation is expected to use [nlive] for the stripe
+     width so both ends agree. *)
+  let nlive = Array.length t.live in
   let seq = t.send_seq in
   t.send_seq <- seq + 1;
   Metrics.incr t.m.m_sent;
-  Trace.emitf Trace.Link ~now:(Engine.now t.eng)
-    "cell vci=%d seq=%d -> link %d" cell.Cell.vci cell.Cell.seq l;
-  (* Backpressure: the channel's output FIFO lets us book at most
-     [tx_fifo_cells] cell-times ahead of the present. *)
-  let horizon () = Engine.now t.eng + (t.cfg.tx_fifo_cells * t.cell_time) in
-  if t.busy_until.(l) > horizon () then
-    Process.sleep t.eng (t.busy_until.(l) - horizon ());
-  let now = Engine.now t.eng in
-  let start = max now t.busy_until.(l) in
-  let finish = start + t.cell_time in
-  t.busy_until.(l) <- finish;
-  if Rng.float t.rng 1.0 < t.cfg.drop_prob then begin
-    Metrics.incr t.m.m_dropped_net;
-    Trace.emitf Trace.Link ~now:(Engine.now t.eng)
-      "cell lost on link %d trunk_seq=%d" l seq
+  if nlive = 0 then begin
+    Metrics.incr t.m.m_dropped_link_down;
+    Trace.emitf Trace.Fault ~now:(Engine.now t.eng)
+      "cell lost: all links down trunk_seq=%d" seq
   end
   else begin
-    let cell =
-      if Rng.float t.rng 1.0 < t.cfg.corrupt_prob then begin
-        Metrics.incr t.m.m_corrupted;
-        Cell.corrupt cell ~byte:(Rng.int t.rng Cell.data_size)
+    let l = t.live.(cell.Cell.seq mod nlive) in
+    Trace.emitf Trace.Link ~now:(Engine.now t.eng)
+      "cell vci=%d seq=%d -> link %d" cell.Cell.vci cell.Cell.seq l;
+    (* Backpressure: the channel's output FIFO lets us book at most
+       [tx_fifo_cells] cell-times ahead of the present. *)
+    let horizon () = Engine.now t.eng + (t.cfg.tx_fifo_cells * t.cell_time) in
+    if t.busy_until.(l) > horizon () then
+      Process.sleep t.eng (t.busy_until.(l) - horizon ());
+    let now = Engine.now t.eng in
+    let start = max now t.busy_until.(l) in
+    let finish = start + t.cell_time in
+    t.busy_until.(l) <- finish;
+    if Rng.float t.rng 1.0 < t.drop_prob then begin
+      Metrics.incr t.m.m_dropped_net;
+      Trace.emitf Trace.Link ~now:(Engine.now t.eng)
+        "cell lost on link %d trunk_seq=%d" l seq
+    end
+    else begin
+      let cell =
+        if Rng.float t.rng 1.0 < t.corrupt_prob then begin
+          Metrics.incr t.m.m_corrupted;
+          Cell.corrupt cell ~byte:(Rng.int t.rng Cell.data_size)
+        end
+        else cell
+      in
+      (* Header corruption mangles the VCI (misdelivery to another VC) or
+         the AAL sequence number (mis-striping) rather than the payload;
+         both escapes are caught downstream — unknown-VC drop or CRC.
+         Guarded so the draw sequence is unchanged when disabled. *)
+      let cell =
+        if
+          t.corrupt_header_prob > 0.0
+          && Rng.float t.rng 1.0 < t.corrupt_header_prob
+        then begin
+          Metrics.incr t.m.m_header_corrupted;
+          let flip = 1 + Rng.int t.rng 7 in
+          if Rng.bool t.rng then begin
+            Trace.emitf Trace.Fault ~now:(Engine.now t.eng)
+              "header corrupt vci %d -> %d trunk_seq=%d" cell.Cell.vci
+              (cell.Cell.vci lxor flip) seq;
+            { cell with Cell.vci = cell.Cell.vci lxor flip }
+          end
+          else begin
+            Trace.emitf Trace.Fault ~now:(Engine.now t.eng)
+              "header corrupt seq %d -> %d trunk_seq=%d" cell.Cell.seq
+              (cell.Cell.seq lxor flip) seq;
+            { cell with Cell.seq = cell.Cell.seq lxor flip }
+          end
+        end
+        else cell
+      in
+      let jitter =
+        if t.cfg.jitter_mean = 0 then 0
+        else
+          Time.of_float_us
+            (Rng.exponential t.rng
+               ~mean:(Time.to_float_us t.cfg.jitter_mean))
+      in
+      let arrival = finish + t.cfg.propagation_delay + t.cfg.skew.(l) + jitter in
+      (* Cells on one channel arrive in order and no faster than the wire. *)
+      let arrival = max arrival (t.last_delivery.(l) + t.cell_time) in
+      t.last_delivery.(l) <- arrival;
+      ignore
+        (Engine.schedule_at t.eng ~time:arrival (fun () ->
+             deliver t l seq ~dup:false cell));
+      if t.dup_prob > 0.0 && Rng.float t.rng 1.0 < t.dup_prob then begin
+        (* A duplicated cell follows its original on the same channel one
+           cell-time later, respecting per-channel FIFO order. *)
+        let arrival2 = t.last_delivery.(l) + t.cell_time in
+        t.last_delivery.(l) <- arrival2;
+        Trace.emitf Trace.Fault ~now:(Engine.now t.eng)
+          "cell duplicated on link %d trunk_seq=%d" l seq;
+        ignore
+          (Engine.schedule_at t.eng ~time:arrival2 (fun () ->
+               deliver t l seq ~dup:true cell))
       end
-      else cell
-    in
-    let jitter =
-      if t.cfg.jitter_mean = 0 then 0
-      else
-        Time.of_float_us
-          (Rng.exponential t.rng
-             ~mean:(Time.to_float_us t.cfg.jitter_mean))
-    in
-    let arrival = finish + t.cfg.propagation_delay + t.cfg.skew.(l) + jitter in
-    (* Cells on one channel arrive in order and no faster than the wire. *)
-    let arrival = max arrival (t.last_delivery.(l) + t.cell_time) in
-    t.last_delivery.(l) <- arrival;
-    ignore
-      (Engine.schedule_at t.eng ~time:arrival (fun () ->
-           deliver t l seq cell))
+    end
   end
 
 let recv t = Mailbox.recv t.inbox
@@ -176,4 +312,7 @@ let stats t : stats =
     dropped_net = Metrics.counter_value t.m.m_dropped_net;
     corrupted = Metrics.counter_value t.m.m_corrupted;
     reordered = Metrics.counter_value t.m.m_reordered;
+    duplicated = Metrics.counter_value t.m.m_duplicated;
+    header_corrupted = Metrics.counter_value t.m.m_header_corrupted;
+    dropped_link_down = Metrics.counter_value t.m.m_dropped_link_down;
   }

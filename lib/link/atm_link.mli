@@ -12,7 +12,15 @@
     serialization backpressure (each channel transmits one 53-byte cell at a
     time, with a small on-board output FIFO of bookable slots); delivery
     pushes cells into the receiving adaptor's input FIFO, dropping (and
-    counting) cells when that FIFO overflows. *)
+    counting) cells when that FIFO overflows.
+
+    Beyond the static error knobs in {!config}, every fault dimension is
+    adjustable at runtime (see [Osiris_fault.Injector]): loss, payload and
+    header corruption, duplication, per-channel carrier loss (the stripe
+    narrows to the surviving channels) and a receive-FIFO squeeze. All
+    runtime knobs default to the config values, and the random draw
+    sequence is unchanged while the extra fault features stay disabled —
+    seeded runs from before this layer existed replay identically. *)
 
 type config = {
   nlinks : int;  (** stripe width; 1 disables striping *)
@@ -26,6 +34,10 @@ type config = {
           disables *)
   corrupt_prob : float;  (** per-cell probability of a flipped data byte *)
   drop_prob : float;  (** per-cell probability of loss in the network *)
+  dup_prob : float;  (** per-cell probability of duplicate delivery *)
+  corrupt_header_prob : float;
+      (** per-cell probability of a flipped header field (VCI or AAL seq) —
+          misdelivery rather than payload damage *)
   tx_fifo_cells : int;  (** bookable output slots per channel *)
   rx_fifo_cells : int;  (** receiving adaptor's input FIFO capacity *)
 }
@@ -45,8 +57,10 @@ val create : Osiris_sim.Engine.t -> Osiris_util.Rng.t -> config -> t
 val config : t -> config
 
 val send : t -> Osiris_atm.Cell.t -> unit
-(** Transmit the next cell (striped round-robin). Blocks the calling process
-    when the target channel's output FIFO is fully booked. *)
+(** Transmit the next cell (striped round-robin over the live channels).
+    Blocks the calling process when the target channel's output FIFO is
+    fully booked. With every channel down the cell is counted as
+    [dropped_link_down] and vanishes. *)
 
 val recv : t -> int * Osiris_atm.Cell.t
 (** Next arrived cell with the channel it arrived on, in arrival order.
@@ -57,14 +71,57 @@ val try_recv : t -> (int * Osiris_atm.Cell.t) option
 val pending : t -> int
 (** Cells currently waiting in the receive FIFO. *)
 
+(** {2 Runtime fault injection}
+
+    Setters for the probabilistic knobs take effect for the next cell
+    sent; they are safe to call from engine callbacks. *)
+
+val set_drop_prob : t -> float -> unit
+val set_corrupt_prob : t -> float -> unit
+val set_dup_prob : t -> float -> unit
+val set_corrupt_header_prob : t -> float -> unit
+
+val set_link_state : t -> link:int -> bool -> unit
+(** Raise or cut one channel's carrier. Cells in flight on a cut channel
+    are dropped on arrival ([dropped_link_down]); newly sent cells
+    re-stripe over the surviving channels in ascending order. Registered
+    {!on_link_change} callbacks run synchronously on every transition. *)
+
+val link_is_up : t -> int -> bool
+
+val nlive : t -> int
+(** Channels currently carrying traffic (= [nlinks] when healthy). *)
+
+val live_links : t -> int list
+(** Physical indices of the live channels, ascending. *)
+
+val on_link_change : t -> (unit -> unit) -> unit
+(** Subscribe to carrier transitions (both directions). Callbacks must not
+    suspend; spawn a process for work that does. *)
+
+val set_rx_fifo_limit : t -> int -> unit
+(** Squeeze (or restore) the receive FIFO's effective capacity; clamped to
+    [1, rx_fifo_cells]. Arrivals beyond the limit count as
+    [dropped_fifo]. *)
+
+val rx_fifo_limit : t -> int
+
+val set_cell_filter : t -> (int -> Osiris_atm.Cell.t -> bool) option -> unit
+(** Deterministic per-cell drop hook for targeted fault injection: called
+    at delivery with the channel and cell; returning [false] discards the
+    cell (counted as [dropped_net]). [None] removes the hook. *)
+
 type stats = {
   mutable sent : int;
   mutable delivered : int;
-  mutable dropped_fifo : int;  (** lost to receive-FIFO overflow *)
-  mutable dropped_net : int;  (** lost in the network (drop_prob) *)
+  mutable dropped_fifo : int;  (** lost to receive-FIFO overflow/squeeze *)
+  mutable dropped_net : int;  (** lost in the network (drop_prob/filter) *)
   mutable corrupted : int;
   mutable reordered : int;
       (** deliveries that overtook a cell sent earlier on another channel *)
+  mutable duplicated : int;  (** duplicate deliveries injected *)
+  mutable header_corrupted : int;  (** VCI/seq mangles injected *)
+  mutable dropped_link_down : int;  (** lost to a dead channel *)
 }
 
 val stats : t -> stats

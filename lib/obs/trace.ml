@@ -17,7 +17,7 @@
    env latch ([reset_for_testing] restores a clean, env-independent
    state). *)
 
-type category = Board_tx | Board_rx | Driver | Protocol | Link
+type category = Board_tx | Board_rx | Driver | Protocol | Link | Fault
 
 let category_name = function
   | Board_tx -> "board-tx"
@@ -25,8 +25,9 @@ let category_name = function
   | Driver -> "driver"
   | Protocol -> "protocol"
   | Link -> "link"
+  | Fault -> "fault"
 
-let all = [ Board_tx; Board_rx; Driver; Protocol; Link ]
+let all = [ Board_tx; Board_rx; Driver; Protocol; Link; Fault ]
 
 type event = { seq : int; t_ns : int; cat : category; msg : string }
 

@@ -24,6 +24,7 @@ type category =
   | Driver  (** host channel drivers *)
   | Protocol  (** IP/UDP events *)
   | Link  (** striping, skew, loss *)
+  | Fault  (** injected faults and the recovery they trigger *)
 
 val category_name : category -> string
 val all : category list

@@ -185,10 +185,249 @@ let test_network_determinism () =
   let r1 = run () and r2 = run () in
   Alcotest.(check bool) "identical outcomes" true (r1 = r2)
 
+(* ------------------------------------------------------------------ *)
+(* Fault-injection subsystem: recovery timers, degradation, soak. *)
+
+module Cell = Osiris_atm.Cell
+module Atm = Atm_link
+module Plan = Osiris_fault.Plan
+module Fault_soak = Osiris_experiments.Fault_soak
+
+(* Like [pair], but with recovery machinery configurable and the network
+   record kept so tests can reach the links. *)
+let fault_pair ?link ?(board = Board.default_config)
+    ?(machine = Machine.ds5000_200) () =
+  let eng = Engine.create () in
+  let cfg = { Host.default_config with Host.board } in
+  let a = Host.create eng machine ~addr:0x0a000001l cfg in
+  let b =
+    Host.create eng machine ~addr:0x0a000002l { cfg with Host.seed = 43 }
+  in
+  let net = Network.connect eng ?link a b in
+  Board.bind_vci a.Host.board ~vci:raw_vci (Board.kernel_channel a.Host.board);
+  Board.bind_vci b.Host.board ~vci:raw_vci (Board.kernel_channel b.Host.board);
+  (eng, a, b, net)
+
+let raw_sink ?(expect_size = true) b template good =
+  Demux.bind b.Host.demux ~vci:raw_vci ~name:"sink" (fun ~vci:_ msg ->
+      let data = Msg.read_all msg in
+      if expect_size && Bytes.length data <> Bytes.length template then
+        Alcotest.fail "wrong-sized PDU delivered"
+      else if not (Bytes.equal data template) then
+        Alcotest.fail "corrupted PDU delivered";
+      incr good;
+      Msg.dispose msg)
+
+let send_template a template =
+  let m = Msg.alloc a.Host.vs ~len:(Bytes.length template) () in
+  Msg.blit_into m ~off:0 ~src:template;
+  Driver.send a.Host.driver ~vci:raw_vci m
+
+(* The regression this PR exists for: drop a single framing-bit (eom)
+   cell under per-link reassembly and, without a reassembly timeout, that
+   VC holds its partial buffers forever. With the timeout the board
+   sweeps the stuck PDU, posts the timeout abort marker, the driver
+   recycles the partial chain under the dedicated counter, and the next
+   PDU flows. *)
+let test_dropped_framing_cell_times_out () =
+  let eng, a, b, net =
+    fault_pair
+      ~board:{ Board.default_config with Board.reassembly_timeout = Time.ms 1 }
+      ()
+  in
+  (* 40000 bytes spans three 16 KB pool buffers, so part of the chain is
+     already posted to the host when the stall hits — exercising the
+     abort-marker path, not just board-side cleanup. *)
+  let template = Bytes.init 40000 (fun i -> Char.chr ((i * 11) land 0xff)) in
+  let good = ref 0 in
+  raw_sink b template good;
+  let dropped = ref false in
+  Atm.set_cell_filter net.Network.a_to_b
+    (Some
+       (fun _link cell ->
+         if cell.Cell.eom && not !dropped then begin
+           dropped := true;
+           false
+         end
+         else true));
+  Process.spawn eng ~name:"tx" (fun () ->
+      send_template a template;
+      Process.sleep eng (Time.ms 5);
+      Atm.set_cell_filter net.Network.a_to_b None;
+      send_template a template);
+  Engine.run ~until:(Time.ms 20) eng;
+  Alcotest.(check bool) "framing cell was dropped" true !dropped;
+  Alcotest.(check int) "second PDU delivered after recovery" 1 !good;
+  let d = Driver.stats b.Host.driver in
+  Alcotest.(check int) "driver counts a timeout abort" 1 d.Driver.timeout_aborts;
+  Alcotest.(check bool) "board sweeper fired" true
+    ((Board.stats b.Host.board).Board.reassembly_timeouts >= 1);
+  Alcotest.(check int) "nothing left in reassembly" 0
+    (Board.reassemblies_in_progress b.Host.board);
+  Invariants.assert_clean ~quiescent:true ~board:b.Host.board
+    ~driver:b.Host.driver ()
+
+(* Duplicated cells shift the per-link streams, so affected PDUs die at
+   the CRC; delivered ones stay byte-exact, spurious reassemblies opened
+   by late duplicates are swept, and nothing leaks. *)
+let test_duplicate_cells_harmless () =
+  (* 0.003/cell: a 171-cell PDU survives duplication-free ~60% of the
+     time, so losses and survivors are both well represented. *)
+  let link = { Atm.default_config with Atm.dup_prob = 0.003 } in
+  let eng, a, b, net =
+    fault_pair ~link
+      ~board:{ Board.default_config with Board.reassembly_timeout = Time.ms 2 }
+      ()
+  in
+  let template = Bytes.init 8192 (fun i -> Char.chr ((i * 5) land 0xff)) in
+  let good = ref 0 in
+  raw_sink b template good;
+  Process.spawn eng ~name:"tx" (fun () ->
+      for _ = 1 to 40 do
+        send_template a template;
+        Process.sleep eng (Time.us 300)
+      done);
+  Engine.run ~until:(Time.ms 40) eng;
+  let l = Atm.stats net.Network.a_to_b in
+  Alcotest.(check bool)
+    (Printf.sprintf "cells were duplicated (%d)" l.Atm.duplicated)
+    true (l.Atm.duplicated > 0);
+  Alcotest.(check bool)
+    (Printf.sprintf "flow survived (%d delivered)" !good)
+    true (!good > 10);
+  Alcotest.(check int) "no residual reassemblies" 0
+    (Board.reassemblies_in_progress b.Host.board);
+  Invariants.assert_clean ~quiescent:true ~board:b.Host.board
+    ~driver:b.Host.driver ()
+
+(* Header corruption (VCI/seq mangles): misdelivered cells either land on
+   an unbound VCI or scramble a stream the CRC then rejects — never a
+   corrupt delivery — and the timeout sweeps any reassembly a stray cell
+   opened. *)
+let test_header_corruption_never_escapes () =
+  let link = { Atm.default_config with Atm.corrupt_header_prob = 0.005 } in
+  let eng, a, b, net =
+    fault_pair ~link
+      ~board:{ Board.default_config with Board.reassembly_timeout = Time.ms 2 }
+      ()
+  in
+  let template = Bytes.init 8192 (fun i -> Char.chr ((i * 3) land 0xff)) in
+  let good = ref 0 in
+  raw_sink b template good;
+  Process.spawn eng ~name:"tx" (fun () ->
+      for _ = 1 to 40 do
+        send_template a template;
+        Process.sleep eng (Time.us 300)
+      done);
+  Engine.run ~until:(Time.ms 40) eng;
+  let l = Atm.stats net.Network.a_to_b in
+  Alcotest.(check bool)
+    (Printf.sprintf "headers were corrupted (%d)" l.Atm.header_corrupted)
+    true (l.Atm.header_corrupted > 0);
+  Alcotest.(check bool)
+    (Printf.sprintf "flow survived (%d delivered)" !good)
+    true (!good > 10);
+  Invariants.assert_clean ~quiescent:true ~board:b.Host.board
+    ~driver:b.Host.driver ()
+
+(* Carrier loss mid-stream: both ends re-stripe over the survivors and
+   traffic keeps flowing during the outage; the boundary PDUs die with
+   accounting, and full width returns when the carrier does. *)
+let test_link_down_degrades_gracefully () =
+  let eng, a, b, net =
+    fault_pair
+      ~board:{ Board.default_config with Board.reassembly_timeout = Time.ms 2 }
+      ()
+  in
+  let template = Bytes.init 8192 (fun i -> Char.chr ((i * 9) land 0xff)) in
+  let good = ref 0 and good_during_outage = ref 0 in
+  Demux.bind b.Host.demux ~vci:raw_vci ~name:"sink" (fun ~vci:_ msg ->
+      if not (Bytes.equal (Msg.read_all msg) template) then
+        Alcotest.fail "corrupted PDU delivered";
+      incr good;
+      let now = Engine.now eng in
+      if now > Time.ms 5 && now < Time.ms 15 then incr good_during_outage;
+      Msg.dispose msg);
+  Process.spawn eng ~name:"tx" (fun () ->
+      for _ = 1 to 60 do
+        send_template a template;
+        Process.sleep eng (Time.us 300)
+      done);
+  Process.spawn eng ~name:"carrier" (fun () ->
+      Process.sleep eng (Time.ms 5);
+      Atm.set_link_state net.Network.a_to_b ~link:2 false;
+      Process.sleep eng (Time.ms 10);
+      Atm.set_link_state net.Network.a_to_b ~link:2 true);
+  Engine.run ~until:(Time.ms 40) eng;
+  Alcotest.(check int) "full stripe width restored" 4
+    (Atm.nlive net.Network.a_to_b);
+  Alcotest.(check bool)
+    (Printf.sprintf "traffic flowed during the outage (%d)"
+       !good_during_outage)
+    true
+    (!good_during_outage > 0);
+  Alcotest.(check bool)
+    (Printf.sprintf "most PDUs delivered (%d/60)" !good)
+    true (!good > 40);
+  Invariants.assert_clean ~quiescent:true ~board:b.Host.board
+    ~driver:b.Host.driver ()
+
+(* Plans are data: textual round-trip and window arithmetic. *)
+let test_plan_roundtrip () =
+  let p = Plan.random ~seed:42 ~horizon:(Time.ms 20) () in
+  Alcotest.(check string) "to_string . of_string = id" (Plan.to_string p)
+    (Plan.to_string (Plan.of_string (Plan.to_string p)));
+  let q = Plan.of_string "seed=3;drop@1ms-2ms=0.01;down#1@500us-1500us" in
+  let k = Plan.knobs_at q (Time.us 1200) in
+  Alcotest.(check (float 1e-9)) "drop active" 0.01 k.Plan.k_drop;
+  Alcotest.(check (list int)) "link 1 down" [ 1 ] k.Plan.k_down;
+  let k' = Plan.knobs_at q (Time.ms 3) in
+  Alcotest.(check (float 1e-9)) "drop over" 0.0 k'.Plan.k_drop;
+  Alcotest.(check (list int)) "carrier back" [] k'.Plan.k_down
+
+(* The headline artifact: N seeds x randomized multi-dimension fault
+   plans (drop + corruption + header mangles + duplication + a carrier
+   outage + FIFO squeeze + lost interrupts) over the full host-to-host
+   path. Per seed: goodput above zero, nothing delivered that is not
+   byte-identical to a sent PDU, no residual reassembly, and the
+   conservation/shadow/age invariants clean at quiescence. *)
+let test_multi_seed_soak () =
+  let seeds =
+    match Sys.getenv_opt "OSIRIS_SOAK_SEEDS" with
+    | Some s when String.trim s <> "" ->
+        List.map int_of_string (String.split_on_char ',' (String.trim s))
+    | _ -> [ 1; 2; 3; 4; 5; 6; 7; 8 ]
+  in
+  List.iter
+    (fun seed ->
+      let o = Fault_soak.run ~seed () in
+      let ctx what =
+        Printf.sprintf "seed %d %s (plan: %s)" seed what o.Fault_soak.plan
+      in
+      Alcotest.(check bool) (ctx "goodput > 0") true
+        (o.Fault_soak.goodput_mbps > 0.0);
+      Alcotest.(check int) (ctx "corrupted deliveries") 0
+        o.Fault_soak.corrupted_delivered;
+      Alcotest.(check int) (ctx "residual reassemblies") 0
+        o.Fault_soak.residual_reassemblies;
+      Alcotest.(check (list string)) (ctx "invariants") []
+        o.Fault_soak.violations)
+    seeds
+
 let suite =
   [
     Alcotest.test_case "lossy link: no corruption, no wedge" `Quick
       test_lossy_link_no_corruption;
+    Alcotest.test_case "dropped framing cell recovers via timeout" `Quick
+      test_dropped_framing_cell_times_out;
+    Alcotest.test_case "duplicate cells are harmless" `Quick
+      test_duplicate_cells_harmless;
+    Alcotest.test_case "header corruption never escapes the CRC" `Quick
+      test_header_corruption_never_escapes;
+    Alcotest.test_case "link down degrades gracefully" `Quick
+      test_link_down_degrades_gracefully;
+    Alcotest.test_case "fault plans round-trip" `Quick test_plan_roundtrip;
+    Alcotest.test_case "multi-seed fault soak" `Slow test_multi_seed_soak;
     Alcotest.test_case "jittery striping end-to-end" `Quick
       test_jittery_striping_end_to_end;
     Alcotest.test_case "concurrent streams stay isolated" `Quick
