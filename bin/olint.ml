@@ -1,0 +1,48 @@
+(* olint — enforce the checked-in interface policy (olint.policy) over
+   the library tree. Exit 0 when clean, 1 on violations, 2 on usage or
+   policy errors. See Osiris_analysis.Lint for the rules. *)
+
+let () =
+  let policy_path = ref "olint.policy" in
+  let roots = ref [] in
+  let spec =
+    [
+      ( "--policy",
+        Arg.Set_string policy_path,
+        "FILE policy file (default: olint.policy)" );
+    ]
+  in
+  let usage = "olint [--policy FILE] [ROOT...]\nLint OCaml sources against the project ownership policy." in
+  Arg.parse spec (fun r -> roots := !roots @ [ r ]) usage;
+  let policy =
+    try Osiris_analysis.Policy.load !policy_path
+    with Sys_error msg | Failure msg ->
+      Printf.eprintf "olint: cannot load policy: %s\n" msg;
+      exit 2
+  in
+  let roots =
+    match (!roots, policy.Osiris_analysis.Policy.scan) with
+    | [], [] ->
+        Printf.eprintf
+          "olint: no roots given and policy has no 'scan' directive\n";
+        exit 2
+    | [], scan -> scan
+    | given, _ -> given
+  in
+  let missing = List.filter (fun r -> not (Sys.file_exists r)) roots in
+  if missing <> [] then begin
+    Printf.eprintf "olint: no such path: %s\n" (String.concat ", " missing);
+    exit 2
+  end;
+  let violations = Osiris_analysis.Lint.check_tree policy roots in
+  List.iter
+    (fun v -> Format.printf "%a@." Osiris_analysis.Lint.pp_violation v)
+    violations;
+  match violations with
+  | [] ->
+      Printf.eprintf "olint: clean (%s)\n" (String.concat " " roots);
+      exit 0
+  | vs ->
+      Printf.eprintf "olint: %d violation%s\n" (List.length vs)
+        (if List.length vs = 1 then "" else "s");
+      exit 1

@@ -1,0 +1,145 @@
+type violation = { rule : string; file : string; line : int; message : string }
+
+let pp_violation fmt v =
+  Format.fprintf fmt "%s:%d: [%s] %s" v.file v.line v.rule v.message
+
+let line_of_loc (loc : Location.t) = loc.loc_start.Lexing.pos_lnum
+
+let rec lid_head = function
+  | Longident.Lident s -> s
+  | Longident.Ldot (l, _) -> lid_head l
+  | Longident.Lapply (l, _) -> lid_head l
+
+let rec lid_last = function
+  | Longident.Lident s -> s
+  | Longident.Ldot (_, s) -> s
+  | Longident.Lapply (_, l) -> lid_last l
+
+(* Does this try-with arm match every exception? (Unguarded wildcard or
+   variable patterns, possibly under alias/constraint/or.) *)
+let rec matches_everything (p : Parsetree.pattern) =
+  match p.ppat_desc with
+  | Ppat_any | Ppat_var _ -> true
+  | Ppat_alias (p, _) | Ppat_constraint (p, _) -> matches_everything p
+  | Ppat_or (a, b) -> matches_everything a || matches_everything b
+  | _ -> false
+
+let is_exit = function
+  | Longident.Lident "exit" -> true
+  | Longident.Ldot (Longident.Lident "Stdlib", "exit") -> true
+  | _ -> false
+
+let check_structure policy file structure =
+  let violations = ref [] in
+  let add ~loc rule message =
+    violations := { rule; file; line = line_of_loc loc; message } :: !violations
+  in
+  let allowed rule = Policy.exempt policy ~rule ~file in
+  let check_obj ~loc lid =
+    if lid_head lid = "Obj" && not (allowed "obj") then
+      add ~loc "R2"
+        (Printf.sprintf "reference to Obj.%s: unsafe casts are banned in \
+                         library code"
+           (lid_last lid))
+  in
+  let expr (it : Ast_iterator.iterator) (e : Parsetree.expression) =
+    (match e.pexp_desc with
+    | Pexp_setfield (_, { txt = lid; loc }, _) -> (
+        let field = lid_last lid in
+        match Policy.owners policy field with
+        | None -> ()
+        | Some writers ->
+            if not (List.exists (fun w -> Policy.path_matches w file) writers)
+            then
+              add ~loc "R1"
+                (Printf.sprintf
+                   "field '%s' assigned outside its declared writer (policy \
+                    allows: %s)"
+                   field
+                   (String.concat ", " writers)))
+    | Pexp_ident { txt; loc } ->
+        check_obj ~loc txt;
+        if is_exit txt && not (allowed "exit") then
+          add ~loc "R3"
+            "call to exit in library code can swallow invariant violations"
+    | Pexp_try (_, cases) ->
+        if not (allowed "catchall") then
+          List.iter
+            (fun (c : Parsetree.case) ->
+              if c.pc_guard = None && matches_everything c.pc_lhs then
+                add ~loc:c.pc_lhs.ppat_loc "R3"
+                  "catch-all exception handler (try ... with _): name the \
+                   exceptions instead")
+            cases
+    | _ -> ());
+    Ast_iterator.default_iterator.expr it e
+  in
+  let module_expr (it : Ast_iterator.iterator) (m : Parsetree.module_expr) =
+    (match m.pmod_desc with
+    | Pmod_ident { txt; loc } -> check_obj ~loc txt
+    | _ -> ());
+    Ast_iterator.default_iterator.module_expr it m
+  in
+  let iterator = { Ast_iterator.default_iterator with expr; module_expr } in
+  iterator.structure iterator structure;
+  List.rev !violations
+
+let parse_impl file =
+  let ic = open_in file in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let lexbuf = Lexing.from_string (really_input_string ic (in_channel_length ic)) in
+      Location.init lexbuf file;
+      Parse.implementation lexbuf)
+
+let check_file policy file =
+  match parse_impl file with
+  | structure -> check_structure policy file structure
+  | exception Syntaxerr.Error err ->
+      let loc = Syntaxerr.location_of_error err in
+      [
+        {
+          rule = "R0";
+          file;
+          line = line_of_loc loc;
+          message = "syntax error: file does not parse";
+        };
+      ]
+  | exception Lexer.Error (_, loc) ->
+      [ { rule = "R0"; file; line = line_of_loc loc; message = "lexer error" } ]
+
+let rec walk dir =
+  if not (Sys.is_directory dir) then if Filename.check_suffix dir ".ml" then [ dir ] else []
+  else
+    Sys.readdir dir |> Array.to_list |> List.sort compare
+    |> List.concat_map (fun entry ->
+           if String.length entry > 0 && (entry.[0] = '_' || entry.[0] = '.')
+           then []
+           else walk (Filename.concat dir entry))
+
+let check_missing_mli policy root =
+  List.filter_map
+    (fun ml ->
+      if Sys.file_exists (ml ^ "i") || Policy.exempt policy ~rule:"no-mli" ~file:ml
+      then None
+      else
+        Some
+          {
+            rule = "R4";
+            file = ml;
+            line = 1;
+            message =
+              "module has no .mli: the ownership rules rely on explicit \
+               interfaces";
+          })
+    (walk root)
+
+let check_tree policy roots =
+  let by_file v = (v.file, v.line, v.rule) in
+  List.concat_map
+    (fun root ->
+      List.concat_map (check_file policy) (walk root)
+      @ check_missing_mli policy root)
+    roots
+  |> List.sort (fun a b -> compare (by_file a) (by_file b))

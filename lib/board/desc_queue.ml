@@ -42,7 +42,21 @@ let make_metrics prefix =
     m_shadow_hits = Metrics.counter (prefix ^ ".shadow_hits");
   }
 
+(* Checker-validation seams (see Osiris_check): each mutation breaks the
+   single-writer / stale-but-safe discipline in a way only visible on some
+   interleavings, so the schedule explorer can prove it catches what
+   straight-line tests miss. Production paths always run [No_mutation]. *)
+type test_mutation =
+  | No_mutation
+  | Torn_tail_publish
+      (* board_dequeue publishes the tail pointer first and clears the
+         slot (and counts the dequeue) in a separate same-instant event *)
+  | Eager_shadow_tail
+      (* the host's full-check shadow refresh reads one slot past the
+         board's tail — an optimistic/torn read of an in-flight update *)
+
 type t = {
+  eng : Engine.t;
   size : int;
   direction : direction;
   locking : locking;
@@ -58,6 +72,7 @@ type t = {
   mutable n_deq : int;
   lock : Resource.t option;
   mutable on_enqueue : unit -> unit;
+  mutable mutation : test_mutation;
   enqueued : Signal.t;
   dequeued : Signal.t;
   m : m;
@@ -67,6 +82,7 @@ let create eng ?(metrics_prefix = "queue") ~size ~direction ~locking ~hooks ()
     =
   if size < 2 then invalid_arg "Desc_queue.create: size must be >= 2";
   {
+    eng;
     size;
     direction;
     locking;
@@ -84,6 +100,7 @@ let create eng ?(metrics_prefix = "queue") ~size ~direction ~locking ~hooks ()
       | Lock_free -> None
       | Spin_lock -> Some (Resource.create eng ~capacity:1));
     on_enqueue = (fun () -> ());
+    mutation = No_mutation;
     enqueued = Signal.create eng;
     dequeued = Signal.create eng;
     m = make_metrics metrics_prefix;
@@ -156,8 +173,12 @@ let host_sees_full t =
       end
       else begin
         host_read t 1;
-        t.shadow_tail <- t.tail;
-        is_full t
+        (match t.mutation with
+        | Eager_shadow_tail -> t.shadow_tail <- (t.tail + 1) mod t.size
+        | _ -> t.shadow_tail <- t.tail);
+        (* Fullness as the host perceives it: through the just-refreshed
+           shadow (identical to [is_full] when the refresh is faithful). *)
+        (t.head + 1) mod t.size = t.shadow_tail
       end
 
 let host_sees_empty t =
@@ -236,11 +257,22 @@ let board_dequeue t =
       end
       else begin
         let d = t.slots.(t.tail) in
-        t.slots.(t.tail) <- None;
-        t.tail <- (t.tail + 1) mod t.size;
-        t.n_deq <- t.n_deq + 1;
-        board_touch t (Desc.words + 2);
-        Signal.broadcast t.dequeued;
+        (match t.mutation with
+        | Torn_tail_publish ->
+            let slot = t.tail in
+            t.tail <- (t.tail + 1) mod t.size;
+            board_touch t (Desc.words + 2);
+            ignore
+              (Engine.schedule t.eng ~delay:0 (fun () ->
+                   t.slots.(slot) <- None;
+                   t.n_deq <- t.n_deq + 1;
+                   Signal.broadcast t.dequeued))
+        | _ ->
+            t.slots.(t.tail) <- None;
+            t.tail <- (t.tail + 1) mod t.size;
+            t.n_deq <- t.n_deq + 1;
+            board_touch t (Desc.words + 2);
+            Signal.broadcast t.dequeued);
         d
       end)
 
@@ -295,6 +327,8 @@ let board_test_waiting t =
    models dual-port accesses — they are the omniscient checker's view,
    not a host or board operation. *)
 
+let set_test_mutation t m = t.mutation <- m
+
 let contents t =
   let n = count t in
   List.filter_map Fun.id
@@ -326,14 +360,17 @@ let check_invariants ?(name = "queue") t =
   (* Shadow safety: a shadow is a stale copy of the pointer the other side
      owns, so the occupancy computed from it must err toward "fuller"
      (transmit direction) / "emptier" (receive direction) than reality —
-     the stale-but-safe discipline the lock-free design rests on. *)
-  (match t.direction with
-  | Host_to_board ->
+     the stale-but-safe discipline the lock-free design rests on. Under
+     the spin lock the shadows are never read or refreshed, so their
+     staleness is unconstrained and the check does not apply. *)
+  (match if t.locking = Spin_lock then None else Some t.direction with
+  | None -> ()
+  | Some Host_to_board ->
       let perceived = (t.head - t.shadow_tail + t.size) mod t.size in
       if perceived < n then
         err "shadow_tail overtook tail (perceived occupancy %d < actual %d)"
           perceived n
-  | Board_to_host ->
+  | Some Board_to_host ->
       let perceived = (t.shadow_head - t.tail + t.size) mod t.size in
       if perceived > n then
         err "shadow_head overtook head (perceived occupancy %d > actual %d)"

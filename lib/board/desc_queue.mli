@@ -148,3 +148,25 @@ val check_invariants : ?name:string -> t -> string list
     enqueue/dequeue totals, slots populated exactly on [tail, head), and
     shadow pointers stale in the safe direction only. Returns violation
     descriptions prefixed with [name]; empty = consistent. *)
+
+(** {2 Checker-validation seams}
+
+    Seeded discipline mutations used only to validate the
+    [Osiris_check] schedule explorer: each one breaks the
+    single-writer / stale-but-safe protocol in a way that is invisible
+    to straight-line (FIFO-schedule, check-at-quiescence) tests but is
+    caught by invariant checks at explored interleaving points. They
+    must never be enabled outside checker tests. *)
+
+type test_mutation =
+  | No_mutation
+  | Torn_tail_publish
+      (** [board_dequeue] publishes the advanced tail pointer first and
+          clears the slot (and counts the dequeue) in a separate
+          same-instant engine event — a non-atomic two-word update. *)
+  | Eager_shadow_tail
+      (** The host's full-check shadow refresh stores [tail + 1] — an
+          optimistic read torn against an in-flight board advance,
+          breaking staleness in the unsafe direction. *)
+
+val set_test_mutation : t -> test_mutation -> unit

@@ -1,0 +1,90 @@
+module Process = Osiris_sim.Process
+module Desc = Osiris_board.Desc
+module Desc_queue = Osiris_board.Desc_queue
+module Invariants = Osiris_core.Invariants
+
+type t = Explore.scenario
+
+(* Both processes yield after every attempt, so host and board steps are
+   always runnable at the same instant — every step of the protocol is a
+   choice point for the explorer. *)
+let queue_scenario ~direction ~name ~locking ~size ~items ~mutation eng =
+  let q =
+    Desc_queue.create eng ~metrics_prefix:("check." ^ name) ~size ~direction
+      ~locking ~hooks:Desc_queue.free_hooks ()
+  in
+  Desc_queue.set_test_mutation q mutation;
+  let produced = ref 0 and consumed = ref 0 in
+  let enqueue, dequeue =
+    match direction with
+    | Desc_queue.Host_to_board ->
+        (Desc_queue.host_enqueue, Desc_queue.board_dequeue)
+    | Desc_queue.Board_to_host ->
+        (Desc_queue.board_enqueue, Desc_queue.host_dequeue)
+  in
+  let writer_name, reader_name =
+    match direction with
+    | Desc_queue.Host_to_board -> ("host", "board")
+    | Desc_queue.Board_to_host -> ("board", "host")
+  in
+  (* Retry caps keep every schedule terminating: a side that sees the
+     queue full (resp. empty) this many times in a row gives up, the
+     engine drains, and the stall surfaces as an at_end liveness
+     violation instead of an event-budget cutoff. Any fair schedule
+     finishes orders of magnitude below the cap. *)
+  let max_stalls = (4 * items) + 16 in
+  Process.spawn eng ~name:writer_name (fun () ->
+      let fulls = ref 0 in
+      while !produced < items && !fulls <= max_stalls do
+        if enqueue q (Desc.v ~addr:(0x1000 + !produced) ~len:1 ()) then begin
+          incr produced;
+          fulls := 0
+        end
+        else incr fulls;
+        Process.yield eng
+      done);
+  Process.spawn eng ~name:reader_name (fun () ->
+      let empties = ref 0 in
+      while !consumed < items && !empties <= max_stalls do
+        (match dequeue q with
+        | Some _ ->
+            incr consumed;
+            empties := 0
+        | None -> incr empties);
+        Process.yield eng
+      done);
+  let conservation () =
+    Invariants.balance
+      ~what:(name ^ " descriptor conservation")
+      ~total:!produced
+      ~parts:
+        [
+          ("consumed", !consumed);
+          ("queued", List.length (Desc_queue.contents q));
+        ]
+  in
+  {
+    Explore.check =
+      (fun () -> Desc_queue.check_invariants ~name q @ conservation ());
+    at_end =
+      (fun () ->
+        Desc_queue.check_invariants ~name q
+        @ conservation ()
+        @
+        if !consumed = items then []
+        else
+          [
+            Printf.sprintf "%s liveness: consumed %d of %d" name !consumed
+              items;
+          ]);
+  }
+
+let host_to_board ?(locking = Desc_queue.Lock_free) ?(size = 4) ?(items = 8)
+    ?(mutation = Desc_queue.No_mutation) () eng =
+  queue_scenario ~direction:Desc_queue.Host_to_board ~name:"h2b" ~locking
+    ~size ~items ~mutation eng
+
+let board_to_host ?(locking = Desc_queue.Lock_free) ?(size = 4) ?(items = 8)
+    ?(mutation = Desc_queue.No_mutation) () eng =
+  queue_scenario ~direction:Desc_queue.Board_to_host ~name:"b2h" ~locking
+    ~size ~items ~mutation eng

@@ -1,0 +1,38 @@
+(** Canned host↔board scenarios for the schedule explorer.
+
+    Each scenario drives one descriptor queue with a host process on one
+    end and a board process on the other, both stepping at the same
+    simulated instants so that every step is an engine choice point. The
+    invariant probes are the production ones: [Desc_queue.check_invariants]
+    (pointer ranges, occupancy, shadow safety) plus a descriptor
+    conservation equation built on [Osiris_core.Invariants.balance], and,
+    at the end, a liveness check that everything produced was consumed.
+
+    The [mutation] parameter seeds a protocol bug
+    ({!Osiris_board.Desc_queue.test_mutation}) so tests can demonstrate
+    that exploration catches discipline violations the FIFO schedule and
+    quiescence-only checks miss. *)
+
+type t = Explore.scenario
+
+val host_to_board :
+  ?locking:Osiris_board.Desc_queue.locking ->
+  ?size:int ->
+  ?items:int ->
+  ?mutation:Osiris_board.Desc_queue.test_mutation ->
+  unit ->
+  t
+(** Transmit-direction scenario: the host enqueues [items] descriptors
+    (default 8) into a [size]-slot (default 4) [Host_to_board] queue,
+    yielding after each attempt; the board dequeues likewise. Default
+    [locking] is [Lock_free], default [mutation] is [No_mutation]. *)
+
+val board_to_host :
+  ?locking:Osiris_board.Desc_queue.locking ->
+  ?size:int ->
+  ?items:int ->
+  ?mutation:Osiris_board.Desc_queue.test_mutation ->
+  unit ->
+  t
+(** Receive-direction scenario: the board enqueues, the host dequeues —
+    exercising the [shadow_head] side of the discipline. *)

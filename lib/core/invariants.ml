@@ -19,24 +19,28 @@ let queue_violations channel =
 let real_descs q =
   List.length (List.filter (fun d -> d.Desc.len > 0) (Desc_queue.contents q))
 
+let balance ~what ~total ~parts =
+  let accounted = List.fold_left (fun a (_, n) -> a + n) 0 parts in
+  if accounted = total then []
+  else
+    [
+      Printf.sprintf "%s: %s = %d, expected %d (leaked %d)" what
+        (String.concat " + "
+           (List.map (fun (name, n) -> Printf.sprintf "%s %d" name n) parts))
+        accounted total (total - accounted);
+    ]
+
 let conservation_violations ~board ~driver =
   let channel = Driver.channel driver in
-  let total = Driver.total_buffers driver in
-  let pool = Driver.pool_available driver in
-  let outstanding = Driver.outstanding_buffers driver in
-  let in_free = real_descs (Board.free_queue channel) in
-  let in_rx = real_descs (Board.rx_queue channel) in
-  let on_board = Board.held_buffers board in
-  let accounted = pool + outstanding + in_free + in_rx + on_board in
-  if accounted <> total then
-    [
-      Printf.sprintf
-        "buffer conservation: pool %d + outstanding %d + free-q %d + rx-q %d \
-         + board-held %d = %d, expected %d (leaked %d)"
-        pool outstanding in_free in_rx on_board accounted total
-        (total - accounted);
-    ]
-  else []
+  balance ~what:"buffer conservation" ~total:(Driver.total_buffers driver)
+    ~parts:
+      [
+        ("pool", Driver.pool_available driver);
+        ("outstanding", Driver.outstanding_buffers driver);
+        ("free-q", real_descs (Board.free_queue channel));
+        ("rx-q", real_descs (Board.rx_queue channel));
+        ("board-held", Board.held_buffers board);
+      ]
 
 let reassembly_violations ~board =
   let cfg = Board.config board in

@@ -9,6 +9,14 @@
     or held on the board (per-VC staging or preallocated fbuf lists).
     A shortfall is a leak; an excess is double-accounting. *)
 
+val balance :
+  what:string -> total:int -> parts:(string * int) list -> string list
+(** Generic conservation equation: the named [parts] must sum to [total].
+    Returns the single violation sentence (naming every part and the
+    leak) or []. Shared by {!conservation_violations} and the
+    [Osiris_check] scenario harnesses, so explorer counterexamples read
+    like fault-soak reports. *)
+
 val queue_violations : Osiris_board.Board.channel -> string list
 (** Descriptor-queue structural checks (pointer ranges, occupancy
     arithmetic, shadow-pointer safety) on the channel's transmit, free

@@ -13,6 +13,7 @@ type t = {
   board : Board.t option;
   base : Atm_link.config;
   mutable irq_prob : float;
+  mutable irq_prob_ch : (int * float) list;
   mutable armed : bool;
   m_events : Metrics.counter;
   m_irq_draws : Metrics.counter;
@@ -36,7 +37,15 @@ let apply t now =
     (match k.Plan.k_squeeze with
     | Some cap -> cap
     | None -> t.base.Atm_link.rx_fifo_cells);
-  t.irq_prob <- k.Plan.k_irq_loss
+  t.irq_prob <- k.Plan.k_irq_loss;
+  t.irq_prob_ch <- k.Plan.k_irq_loss_ch
+
+(* Effective interrupt-loss probability for one receive channel: the
+   harsher of the global burst and the channel-targeted one. *)
+let irq_loss_prob t ch =
+  match List.assoc_opt ch t.irq_prob_ch with
+  | Some p -> Float.max t.irq_prob p
+  | None -> t.irq_prob
 
 let inject eng ~plan ~link ?board () =
   let t =
@@ -48,6 +57,7 @@ let inject eng ~plan ~link ?board () =
       board;
       base = Atm_link.config link;
       irq_prob = 0.0;
+      irq_prob_ch = [];
       armed = true;
       m_events = Metrics.counter "fault.plan_events";
       m_irq_draws = Metrics.counter "fault.irq_loss_draws";
@@ -60,9 +70,12 @@ let inject eng ~plan ~link ?board () =
         (Some
            (fun reason ->
              match reason with
-             | Board.Rx_nonempty _ when t.armed && t.irq_prob > 0.0 ->
-                 Metrics.incr t.m_irq_draws;
-                 not (Rng.float t.rng 1.0 < t.irq_prob)
+             | Board.Rx_nonempty ch when t.armed -> (
+                 match irq_loss_prob t ch with
+                 | p when p > 0.0 ->
+                     Metrics.incr t.m_irq_draws;
+                     not (Rng.float t.rng 1.0 < p)
+                 | _ -> true)
              | _ -> true)));
   Trace.emitf Trace.Fault ~now:(Engine.now eng) "inject plan [%s]"
     (Plan.to_string plan);
@@ -85,6 +98,7 @@ let disarm t =
   if t.armed then begin
     t.armed <- false;
     t.irq_prob <- 0.0;
+    t.irq_prob_ch <- [];
     Atm_link.set_drop_prob t.link t.base.Atm_link.drop_prob;
     Atm_link.set_corrupt_prob t.link t.base.Atm_link.corrupt_prob;
     Atm_link.set_corrupt_header_prob t.link t.base.Atm_link.corrupt_header_prob;

@@ -5,6 +5,10 @@
     into the link (loss/corruption/duplication probabilities, carrier
     state, receive-FIFO squeeze) and, when a board is supplied, an
     interrupt-loss filter drawing from the injector's own seeded RNG.
+    Interrupt loss resolves per receive channel: a [Rx_nonempty ch]
+    interrupt is suppressed with the max of the plan's global
+    [irq_loss] probability and the channel-targeted [irq_loss_ch]
+    probability for [ch].
     The traffic RNG streams are untouched, so the same traffic seed with
     different plans stays comparable.
 

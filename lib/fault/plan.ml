@@ -13,6 +13,7 @@ type t = {
   link_down : (int * window) list;
   rx_squeeze : (int * window) list;
   irq_loss : burst list;
+  irq_loss_ch : (int * burst) list;
 }
 
 let none =
@@ -25,6 +26,7 @@ let none =
     link_down = [];
     rx_squeeze = [];
     irq_loss = [];
+    irq_loss_ch = [];
   }
 
 type knobs = {
@@ -33,6 +35,10 @@ type knobs = {
   k_header : float;
   k_dup : float;
   k_irq_loss : float;
+  k_irq_loss_ch : (int * float) list;
+      (* per-ADC-channel interrupt-loss probability, max over the
+         channel's active bursts; channels without an active burst are
+         absent *)
   k_down : int list;  (* channels whose carrier is cut *)
   k_squeeze : int option;  (* tightest active rx-FIFO capacity *)
 }
@@ -50,6 +56,21 @@ let knobs_at t now =
     k_header = active_prob t.corrupt_header now;
     k_dup = active_prob t.duplicate now;
     k_irq_loss = active_prob t.irq_loss now;
+    k_irq_loss_ch =
+      (let chans =
+         List.sort_uniq compare (List.map fst t.irq_loss_ch)
+       in
+       List.filter_map
+         (fun ch ->
+           let bursts =
+             List.filter_map
+               (fun (c, b) -> if c = ch then Some b else None)
+               t.irq_loss_ch
+           in
+           match active_prob bursts now with
+           | 0.0 -> None
+           | p -> Some (ch, p))
+         chans);
     k_down =
       List.filter_map
         (fun (l, w) ->
@@ -74,6 +95,7 @@ let boundaries t =
       List.concat_map of_burst t.corrupt_header;
       List.concat_map of_burst t.duplicate;
       List.concat_map of_burst t.irq_loss;
+      List.concat_map (fun (_, b) -> of_burst b) t.irq_loss_ch;
       List.concat_map (fun (_, w) -> of_window w) t.link_down;
       List.concat_map (fun (_, w) -> of_window w) t.rx_squeeze;
     ]
@@ -109,6 +131,10 @@ let random ?(nlinks = 4) ~seed ~horizon () =
     link_down = [ (Rng.int rng nlinks, window ()) ];
     rx_squeeze = [ (4 + Rng.int rng 5, window ()) ];
     irq_loss = bursts 1 (0.2 +. Rng.float rng 0.4) 0.0;
+    (* Per-channel interrupt loss is a targeted fault (the random soak
+       covers the global dimension); seed it explicitly, e.g.
+       "irqloss#3@2ms-4ms=1". *)
+    irq_loss_ch = [];
   }
 
 (* ------------------------------------------------------------------ *)
@@ -126,6 +152,9 @@ let to_string t =
     @ List.map (sprint_burst "hdr") t.corrupt_header
     @ List.map (sprint_burst "dup") t.duplicate
     @ List.map (sprint_burst "irqloss") t.irq_loss
+    @ List.map
+        (fun (ch, b) -> sprint_burst (Printf.sprintf "irqloss#%d" ch) b)
+        t.irq_loss_ch
     @ List.map
         (fun (l, w) -> Printf.sprintf "down#%d@%d-%d" l w.w_from w.w_until)
         t.link_down
@@ -166,8 +195,15 @@ let of_string s =
           match String.index_opt key '#' with
           | Some i ->
               (String.sub key 0 i,
-               int_of_string (String.sub key (i + 1) (String.length key - i - 1)))
-          | None -> (key, 0)
+               Some
+                 (int_of_string
+                    (String.sub key (i + 1) (String.length key - i - 1))))
+          | None -> (key, None)
+        in
+        let req_arg () =
+          match arg with
+          | Some a -> a
+          | None -> failwith ("Fault_plan: missing #channel in " ^ part)
         in
         match key with
         | _ when String.length key >= 5 && String.sub key 0 5 = "seed=" ->
@@ -178,24 +214,30 @@ let of_string s =
                 let b_from, b_until = parse_range range in
                 let b = { b_from; b_until; prob = float_of_string p } in
                 t :=
-                  (match key with
-                  | "drop" -> { !t with drop = !t.drop @ [ b ] }
-                  | "corrupt" -> { !t with corrupt = !t.corrupt @ [ b ] }
-                  | "hdr" ->
+                  (match (key, arg) with
+                  | "drop", _ -> { !t with drop = !t.drop @ [ b ] }
+                  | "corrupt", _ -> { !t with corrupt = !t.corrupt @ [ b ] }
+                  | "hdr", _ ->
                       { !t with corrupt_header = !t.corrupt_header @ [ b ] }
-                  | "dup" -> { !t with duplicate = !t.duplicate @ [ b ] }
-                  | _ -> { !t with irq_loss = !t.irq_loss @ [ b ] })
+                  | "dup", _ -> { !t with duplicate = !t.duplicate @ [ b ] }
+                  | _, Some ch ->
+                      (* irqloss#ch: interrupt loss for one ADC channel *)
+                      { !t with irq_loss_ch = !t.irq_loss_ch @ [ (ch, b) ] }
+                  | _, None -> { !t with irq_loss = !t.irq_loss @ [ b ] })
             | _ -> failwith ("Fault_plan: bad burst " ^ part))
         | "down" ->
             let w_from, w_until = parse_range rest in
             t :=
-              { !t with link_down = !t.link_down @ [ (arg, { w_from; w_until }) ] }
+              {
+                !t with
+                link_down = !t.link_down @ [ (req_arg (), { w_from; w_until }) ];
+              }
         | "squeeze" ->
             let w_from, w_until = parse_range rest in
             t :=
               {
                 !t with
-                rx_squeeze = !t.rx_squeeze @ [ (arg, { w_from; w_until }) ];
+                rx_squeeze = !t.rx_squeeze @ [ (req_arg (), { w_from; w_until }) ];
               }
         | _ -> failwith ("Fault_plan: unknown item " ^ part))
   in

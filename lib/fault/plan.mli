@@ -12,7 +12,12 @@
     [OSIRIS_FAULT_PLAN] environment variable (times are integer
     nanoseconds, with [us]/[ms]/[s] suffixes accepted on input):
 
-    {v seed=7;drop@2ms-5ms=0.002;down#2@3ms-4ms;squeeze#4@1ms-2ms v} *)
+    {v seed=7;drop@2ms-5ms=0.002;down#2@3ms-4ms;squeeze#4@1ms-2ms v}
+
+    Interrupt loss comes in two granularities: [irqloss@a-b=p] suppresses
+    receive interrupts for every channel, while [irqloss#3@a-b=p] targets
+    only ADC channel 3 (the injector takes the max of the two for a
+    channel with both active). *)
 
 type burst = {
   b_from : Osiris_sim.Time.t;
@@ -31,6 +36,8 @@ type t = {
   link_down : (int * window) list;  (** (channel, outage window) *)
   rx_squeeze : (int * window) list;  (** (fifo capacity, window) *)
   irq_loss : burst list;  (** lost coalesced receive interrupts *)
+  irq_loss_ch : (int * burst) list;
+      (** (ADC channel, burst): interrupt loss for one channel only *)
 }
 
 val none : t
@@ -43,6 +50,9 @@ type knobs = {
   k_header : float;
   k_dup : float;
   k_irq_loss : float;
+  k_irq_loss_ch : (int * float) list;
+      (** per-channel interrupt-loss probability; channels with no active
+          burst are absent *)
   k_down : int list;
   k_squeeze : int option;
 }

@@ -1,16 +1,27 @@
 type handle = { mutable cancelled : bool; fn : unit -> unit }
 
+type chooser = now:Time.t -> count:int -> int
+
 type t = {
   mutable clock : Time.t;
   mutable seq : int;
   mutable stopping : bool;
+  mutable chooser : chooser option;
   events : handle Heap.t;
 }
 
 exception Stopped
 
 let create () =
-  { clock = Time.zero; seq = 0; stopping = false; events = Heap.create () }
+  {
+    clock = Time.zero;
+    seq = 0;
+    stopping = false;
+    chooser = None;
+    events = Heap.create ();
+  }
+
+let set_chooser t c = t.chooser <- c
 
 let now t = t.clock
 
@@ -32,13 +43,55 @@ let cancel h = h.cancelled <- true
 
 let pending t = Heap.length t.events
 
+(* Pop every live (non-cancelled) event scheduled at [key], in seq order.
+   Cancelled entries are dropped on the way — they must not count as
+   schedulable alternatives. *)
+let pop_instant t key =
+  let rec go acc =
+    match Heap.peek_key t.events with
+    | Some k when k = key -> (
+        match Heap.pop_min t.events with
+        | Some (_, seq, h) ->
+            go (if h.cancelled then acc else (seq, h) :: acc)
+        | None -> acc)
+    | _ -> acc
+  in
+  List.rev (go [])
+
 let step t =
-  match Heap.pop_min t.events with
-  | None -> false
-  | Some (time, _seq, h) ->
-      t.clock <- time;
-      if not h.cancelled then h.fn ();
-      true
+  match t.chooser with
+  | None -> (
+      match Heap.pop_min t.events with
+      | None -> false
+      | Some (time, _seq, h) ->
+          t.clock <- time;
+          if not h.cancelled then h.fn ();
+          true)
+  | Some choose -> (
+      match Heap.peek_key t.events with
+      | None -> false
+      | Some key -> (
+          match pop_instant t key with
+          | [] -> true (* only cancelled events at this instant; drained *)
+          | [ (_, h) ] ->
+              t.clock <- key;
+              h.fn ();
+              true
+          | candidates ->
+              let n = List.length candidates in
+              let i = choose ~now:key ~count:n in
+              if i < 0 || i >= n then
+                invalid_arg
+                  (Printf.sprintf
+                     "Engine: chooser picked %d of %d candidates" i n);
+              let _, h = List.nth candidates i in
+              List.iteri
+                (fun j (seq, h') ->
+                  if j <> i then Heap.add t.events ~key ~seq h')
+                candidates;
+              t.clock <- key;
+              h.fn ();
+              true))
 
 let stop t = t.stopping <- true
 

@@ -4,7 +4,14 @@
     scheduled at absolute or relative simulated times and executed in
     timestamp order; callbacks scheduled for the same instant run in the
     order they were scheduled. The engine is strictly single-threaded and,
-    given the same inputs, fully deterministic. *)
+    given the same inputs, fully deterministic.
+
+    Same-instant ordering is pluggable: a {!chooser} installed with
+    {!set_chooser} is consulted whenever two or more live callbacks are
+    runnable at the same instant, turning each such tie into an explicit,
+    recordable choice point (the hook {!Osiris_check} schedule exploration
+    is built on). Without a chooser the engine keeps its historical FIFO
+    tie-break, bit-for-bit. *)
 
 type t
 
@@ -46,3 +53,14 @@ exception Stopped
 
 val stop : t -> unit
 (** Request that {!run} return after the current callback completes. *)
+
+type chooser = now:Time.t -> count:int -> int
+(** [choose ~now ~count] picks which of the [count >= 2] live callbacks
+    runnable at instant [now] fires next, by index in scheduling (seq)
+    order — index 0 reproduces the FIFO default. Must return a value in
+    [\[0, count)]. *)
+
+val set_chooser : t -> chooser option -> unit
+(** Install (or, with [None], remove) the same-instant tie-breaker. The
+    chooser is only consulted for instants with at least two live
+    callbacks; cancelled events are never offered as candidates. *)

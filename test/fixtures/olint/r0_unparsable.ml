@@ -1,0 +1,2 @@
+(* olint fixture: does not parse. *)
+let let = in

@@ -1,0 +1,5 @@
+(* olint fixture: assigns a policy-owned field outside its declared
+   writer file. Never compiled -- parsed by the lint only. *)
+type q = { mutable head : int; mutable tail : int }
+
+let bump (q : q) = q.head <- q.head + 1

@@ -1,0 +1,2 @@
+(* olint fixture: Obj escape hatch. Never compiled. *)
+let cast (x : int) : string = Obj.magic x

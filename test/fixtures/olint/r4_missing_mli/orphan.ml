@@ -1,0 +1,2 @@
+(* olint fixture: no sibling .mli. *)
+let answer = 42

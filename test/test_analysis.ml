@@ -1,0 +1,144 @@
+(* Ownership lint: policy parsing and each rule firing on the committed
+   fixtures under fixtures/olint (which are parsed, never compiled).
+   `dune build @olint` additionally runs the real binary over both the
+   clean tree (expects exit 0) and these fixtures (expects exit 1). *)
+
+module Policy = Osiris_analysis.Policy
+module Lint = Osiris_analysis.Lint
+
+(* `dune runtest` runs with cwd = _build/default/test (fixtures copied in
+   via the test deps); `dune exec test/test_main.exe` runs from the repo
+   root. Resolve against either. *)
+let fixture_root =
+  if Sys.file_exists "fixtures/olint" then "fixtures/olint"
+  else "test/fixtures/olint"
+
+let fixture name = Filename.concat fixture_root name
+
+(* A policy equivalent in shape to the repo's olint.policy, inlined so
+   the tests do not depend on the invocation directory. *)
+let policy =
+  Policy.of_string
+    "scan lib\n\
+     own head lib/board/desc_queue.ml\n\
+     own tail lib/board/desc_queue.ml\n\
+     shared irq_filter\n\
+     accessor lib/board/board.ml\n"
+
+let rules vs = List.map (fun v -> v.Lint.rule) vs
+
+let contains ~affix s =
+  let n = String.length affix and m = String.length s in
+  let rec at i = i + n <= m && (String.sub s i n = affix || at (i + 1)) in
+  n = 0 || at 0
+
+let test_policy_parsing () =
+  Alcotest.(check (list string)) "scan" [ "lib" ] policy.Policy.scan;
+  Alcotest.(check (option (list string))) "owned field"
+    (Some [ "lib/board/desc_queue.ml" ])
+    (Policy.owners policy "head");
+  Alcotest.(check (option (list string))) "shared field -> accessors"
+    (Some [ "lib/board/board.ml" ])
+    (Policy.owners policy "irq_filter");
+  Alcotest.(check (option (list string))) "undeclared field" None
+    (Policy.owners policy "slots_foo");
+  Alcotest.(check bool) "path match from any cwd" true
+    (Policy.path_matches "lib/board/desc_queue.ml"
+       "/root/repo/lib/board/desc_queue.ml");
+  Alcotest.(check bool) "suffix must be whole components" false
+    (Policy.path_matches "board/desc_queue.ml" "lib/board/not_desc_queue.ml");
+  (match Policy.of_string "shared a\nown head\n" with
+  | exception Failure msg ->
+      Alcotest.(check bool)
+        (Printf.sprintf "error names the line (%s)" msg)
+        true
+        (contains ~affix:"line 2" msg)
+  | _ -> Alcotest.fail "malformed 'own' accepted");
+  match Policy.of_string "frobnicate lib\n" with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "unknown directive accepted"
+
+let test_r1_foreign_writer () =
+  match Lint.check_file policy (fixture "r1_bad_owner.ml") with
+  | [ v ] ->
+      Alcotest.(check string) "rule" "R1" v.Lint.rule;
+      Alcotest.(check int) "line" 5 v.Lint.line;
+      Alcotest.(check bool) "message names the field" true
+        (contains ~affix:"head" v.Lint.message)
+  | vs -> Alcotest.failf "expected exactly one R1, got %d" (List.length vs)
+
+let test_r2_obj () =
+  match Lint.check_file policy (fixture "r2_obj.ml") with
+  | [ v ] ->
+      Alcotest.(check string) "rule" "R2" v.Lint.rule;
+      Alcotest.(check int) "line" 2 v.Lint.line
+  | vs -> Alcotest.failf "expected exactly one R2, got %d" (List.length vs)
+
+let test_r3_catchall_and_exit () =
+  let vs = Lint.check_file policy (fixture "r3_catchall.ml") in
+  Alcotest.(check (list string)) "both R3 forms" [ "R3"; "R3" ] (rules vs);
+  Alcotest.(check (list int)) "lines" [ 3; 4 ]
+    (List.sort compare (List.map (fun v -> v.Lint.line) vs))
+
+let test_r3_allow_exemptions () =
+  let exempt =
+    Policy.of_string
+      (Printf.sprintf "allow catchall %s\nallow exit %s\n"
+         (fixture "r3_catchall.ml")
+         (fixture "r3_catchall.ml"))
+  in
+  Alcotest.(check (list string)) "exempted file is clean" []
+    (rules (Lint.check_file exempt (fixture "r3_catchall.ml")))
+
+let test_r4_missing_mli () =
+  match Lint.check_missing_mli policy (fixture "r4_missing_mli") with
+  | [ v ] ->
+      Alcotest.(check string) "rule" "R4" v.Lint.rule;
+      Alcotest.(check bool) "names the orphan" true
+        (Filename.basename v.Lint.file = "orphan.ml")
+  | vs -> Alcotest.failf "expected exactly one R4, got %d" (List.length vs)
+
+let test_r0_unparsable () =
+  Alcotest.(check (list string)) "parse failure is a violation" [ "R0" ]
+    (rules (Lint.check_file policy (fixture "r0_unparsable.ml")))
+
+(* The whole fixture tree through the same entry point the binary uses:
+   every rule represented, results sorted by file. *)
+let test_check_tree_over_fixtures () =
+  let vs = Lint.check_tree policy [ fixture_root ] in
+  let count r = List.length (List.filter (fun v -> v.Lint.rule = r) vs) in
+  Alcotest.(check int) "one R0" 1 (count "R0");
+  Alcotest.(check int) "one R1" 1 (count "R1");
+  Alcotest.(check int) "one R2" 1 (count "R2");
+  Alcotest.(check int) "two R3" 2 (count "R3");
+  Alcotest.(check int) "R4 for every fixture .ml" 5 (count "R4");
+  let files = List.map (fun v -> v.Lint.file) vs in
+  Alcotest.(check (list string)) "sorted by file" (List.sort compare files)
+    files;
+  (* The grep-able one-line form carries file, line and rule. *)
+  let printed =
+    Format.asprintf "%a" Lint.pp_violation
+      (List.find (fun v -> v.Lint.rule = "R1") vs)
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "pp form (%s)" printed)
+    true
+    (contains ~affix:"r1_bad_owner.ml:5: [R1]" printed)
+
+let suite =
+  [
+    Alcotest.test_case "policy parses and answers queries" `Quick
+      test_policy_parsing;
+    Alcotest.test_case "R1: foreign writer of an owned field" `Quick
+      test_r1_foreign_writer;
+    Alcotest.test_case "R2: Obj reference" `Quick test_r2_obj;
+    Alcotest.test_case "R3: catch-all and exit" `Quick
+      test_r3_catchall_and_exit;
+    Alcotest.test_case "R3: allow-listed file is exempt" `Quick
+      test_r3_allow_exemptions;
+    Alcotest.test_case "R4: missing .mli" `Quick test_r4_missing_mli;
+    Alcotest.test_case "R0: unparsable file reported" `Quick
+      test_r0_unparsable;
+    Alcotest.test_case "check_tree covers every rule, sorted" `Quick
+      test_check_tree_over_fixtures;
+  ]

@@ -138,6 +138,39 @@ let test_queue_spinlock_costs_more () =
   Alcotest.(check bool) "spin lock touches more words" true
     (words q2 > words q1)
 
+(* check_invariants understands the locking mode: shadow staleness is
+   unconstrained under the spin lock (shadows are never consulted), so a
+   spin-lock queue stays clean across wraparounds mid-operation — while
+   an unsafe-direction shadow refresh in lock-free mode is flagged. *)
+let test_queue_invariants_locking_modes () =
+  let eng, q =
+    mk_queue ~size:4 ~locking:Desc_queue.Spin_lock Desc_queue.Host_to_board
+  in
+  in_process eng (fun () ->
+      for round = 1 to 3 do
+        for i = 1 to 3 do
+          ignore (Desc_queue.host_enqueue q (d ((round * 10) + i)));
+          Alcotest.(check (list string)) "clean after enqueue" []
+            (Desc_queue.check_invariants ~name:"spin" q)
+        done;
+        for _ = 1 to 3 do
+          ignore (Desc_queue.board_dequeue q);
+          Alcotest.(check (list string)) "clean after dequeue" []
+            (Desc_queue.check_invariants ~name:"spin" q)
+        done
+      done);
+  let eng2, q2 =
+    mk_queue ~size:4 ~locking:Desc_queue.Lock_free Desc_queue.Host_to_board
+  in
+  Desc_queue.set_test_mutation q2 Desc_queue.Eager_shadow_tail;
+  in_process eng2 (fun () ->
+      for i = 1 to 3 do
+        ignore (Desc_queue.host_enqueue q2 (d i))
+      done;
+      ignore (Desc_queue.host_probe_full q2);
+      Alcotest.(check bool) "unsafe shadow refresh flagged" true
+        (Desc_queue.check_invariants ~name:"lf" q2 <> []))
+
 (* Interleaved producer/consumer property: everything enqueued is dequeued
    exactly once, in order, under arbitrary schedules. *)
 let queue_linearizable =
@@ -393,6 +426,8 @@ let suite =
       test_queue_shadow_saves_reads;
     Alcotest.test_case "desc_queue: spin lock traffic" `Quick
       test_queue_spinlock_costs_more;
+    Alcotest.test_case "desc_queue: invariants vs locking mode" `Quick
+      test_queue_invariants_locking_modes;
     QCheck_alcotest.to_alcotest queue_linearizable;
     Alcotest.test_case "board: loopback intact" `Quick test_loopback_intact;
     Alcotest.test_case "board: single-cell loopback" `Quick

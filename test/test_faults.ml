@@ -190,7 +190,9 @@ let test_network_determinism () =
 
 module Cell = Osiris_atm.Cell
 module Atm = Atm_link
+module Adc = Osiris_adc.Adc
 module Plan = Osiris_fault.Plan
+module Injector = Osiris_fault.Injector
 module Fault_soak = Osiris_experiments.Fault_soak
 
 (* Like [pair], but with recovery machinery configurable and the network
@@ -372,6 +374,64 @@ let test_link_down_degrades_gracefully () =
   Invariants.assert_clean ~quiescent:true ~board:b.Host.board
     ~driver:b.Host.driver ()
 
+(* Per-ADC interrupt loss (ROADMAP item): a plan burst targeting one
+   channel's [Rx_nonempty] assertions starves only that ADC — the kernel
+   channel keeps delivering through the outage — and the [irq_reassert]
+   watchdog restores the ADC once the burst ends. *)
+let test_per_channel_irq_loss () =
+  let eng, a, b, net =
+    fault_pair
+      ~board:{ Board.default_config with Board.irq_reassert = Time.ms 1 }
+      ()
+  in
+  let app_a = Adc.open_ a ~name:"app-a" () in
+  let app_b = Adc.open_ b ~name:"app-b" () in
+  let adc_vci = 40 in
+  Board.bind_vci a.Host.board ~vci:adc_vci (Adc.channel app_a);
+  Board.bind_vci b.Host.board ~vci:adc_vci (Adc.channel app_b);
+  let adc_ch = Board.channel_id (Adc.channel app_b) in
+  let template = Bytes.init 4096 (fun i -> Char.chr ((i * 7) land 0xff)) in
+  let kern_good = ref 0 and adc_good = ref 0 in
+  raw_sink b template kern_good;
+  Demux.bind (Adc.demux app_b) ~vci:adc_vci ~name:"app-sink"
+    (fun ~vci:_ msg ->
+      incr adc_good;
+      Msg.dispose msg);
+  (* Every Rx_nonempty for the ADC's channel is eaten until 8 ms; channel
+     0 (the kernel) draws no filter decision at all. *)
+  let plan =
+    Plan.of_string (Printf.sprintf "seed=5;irqloss#%d@0-8ms=1" adc_ch)
+  in
+  ignore
+    (Injector.inject eng ~plan ~link:net.Network.a_to_b ~board:b.Host.board ());
+  Process.spawn eng ~name:"tx" (fun () ->
+      for _ = 1 to 20 do
+        send_template a template;
+        Adc.send app_a ~vci:adc_vci (Adc.alloc_msg app_a ~len:2048 ());
+        Process.sleep eng (Time.us 200)
+      done);
+  ignore
+    (Engine.schedule_at eng ~time:(Time.ms 7) (fun () ->
+         Alcotest.(check bool)
+           (Printf.sprintf "kernel flowed during the outage (%d)" !kern_good)
+           true (!kern_good > 0);
+         Alcotest.(check int) "ADC starved during the outage" 0 !adc_good));
+  Engine.run ~until:(Time.ms 30) eng;
+  let bstats = Board.stats b.Host.board in
+  Alcotest.(check bool)
+    (Printf.sprintf "interrupts were suppressed (%d)"
+       bstats.Board.interrupts_suppressed)
+    true
+    (bstats.Board.interrupts_suppressed > 0);
+  Alcotest.(check bool)
+    (Printf.sprintf "watchdog re-asserted (%d)" bstats.Board.irq_reasserts)
+    true
+    (bstats.Board.irq_reasserts > 0);
+  Alcotest.(check int) "kernel channel unaffected" 20 !kern_good;
+  Alcotest.(check int) "ADC recovered after the burst" 20 !adc_good;
+  Invariants.assert_clean ~quiescent:true ~board:b.Host.board
+    ~driver:b.Host.driver ()
+
 (* Plans are data: textual round-trip and window arithmetic. *)
 let test_plan_roundtrip () =
   let p = Plan.random ~seed:42 ~horizon:(Time.ms 20) () in
@@ -383,7 +443,22 @@ let test_plan_roundtrip () =
   Alcotest.(check (list int)) "link 1 down" [ 1 ] k.Plan.k_down;
   let k' = Plan.knobs_at q (Time.ms 3) in
   Alcotest.(check (float 1e-9)) "drop over" 0.0 k'.Plan.k_drop;
-  Alcotest.(check (list int)) "carrier back" [] k'.Plan.k_down
+  Alcotest.(check (list int)) "carrier back" [] k'.Plan.k_down;
+  (* Per-channel interrupt loss: round-trips, keeps the global dimension
+     separate, and knobs only list channels with an active burst. *)
+  let r = Plan.of_string "irqloss@1ms-4ms=0.25;irqloss#3@2ms-6ms=0.75" in
+  Alcotest.(check string) "irqloss#N round-trips" (Plan.to_string r)
+    (Plan.to_string (Plan.of_string (Plan.to_string r)));
+  let kr = Plan.knobs_at r (Time.ms 3) in
+  Alcotest.(check (float 1e-9)) "global irqloss" 0.25 kr.Plan.k_irq_loss;
+  Alcotest.(check (list (pair int (float 1e-9)))) "channel 3 irqloss"
+    [ (3, 0.75) ] kr.Plan.k_irq_loss_ch;
+  let kr' = Plan.knobs_at r (Time.ms 5) in
+  Alcotest.(check (float 1e-9)) "global over" 0.0 kr'.Plan.k_irq_loss;
+  Alcotest.(check (list (pair int (float 1e-9)))) "channel 3 still active"
+    [ (3, 0.75) ] kr'.Plan.k_irq_loss_ch;
+  Alcotest.(check (list (pair int (float 1e-9)))) "all quiet at 7ms" []
+    (Plan.knobs_at r (Time.ms 7)).Plan.k_irq_loss_ch
 
 (* The headline artifact: N seeds x randomized multi-dimension fault
    plans (drop + corruption + header mangles + duplication + a carrier
@@ -426,6 +501,8 @@ let suite =
       test_header_corruption_never_escapes;
     Alcotest.test_case "link down degrades gracefully" `Quick
       test_link_down_degrades_gracefully;
+    Alcotest.test_case "per-ADC interrupt loss is channel-scoped" `Quick
+      test_per_channel_irq_loss;
     Alcotest.test_case "fault plans round-trip" `Quick test_plan_roundtrip;
     Alcotest.test_case "multi-seed fault soak" `Slow test_multi_seed_soak;
     Alcotest.test_case "jittery striping end-to-end" `Quick

@@ -20,6 +20,8 @@ let () =
       ("core", Test_core.suite);
       ("adc", Test_adc.suite);
       ("faults", Test_faults.suite);
+      ("check", Test_check.suite);
+      ("analysis", Test_analysis.suite);
       ("experiments", Test_experiments.suite);
       ("obs", Test_obs.suite);
     ]
