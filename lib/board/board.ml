@@ -153,6 +153,7 @@ type channel = {
   mutable txst : tx_pdu option;
   mutable peek_ahead : int; (* descriptors consumed but not yet advanced *)
   mutable reassert_armed : bool; (* rx interrupt watchdog scheduled *)
+  mutable free_gated : bool; (* fault injection: free queue yields nothing *)
 }
 
 type rxbuf = { bdesc : Desc.t; mutable filled : int; mutable posted : bool }
@@ -249,6 +250,7 @@ let make_channel eng bus cfg id =
     txst = None;
     peek_ahead = 0;
     reassert_armed = false;
+    free_gated = false;
   }
 
 let create eng ~bus ~mem ~on_interrupt ?(on_dma_write = fun ~addr:_ ~len:_ -> ())
@@ -355,6 +357,16 @@ let free_queue ch = ch.free_q
 let rx_queue ch = ch.rx_q
 let set_allowed_pages ch allowed = ch.allowed <- allowed
 let set_priority ch p = ch.priority <- p
+
+let set_free_gate t ~ch gated =
+  if ch < 0 || ch >= t.cfg.n_channels then
+    invalid_arg "Board.set_free_gate: channel out of range";
+  t.channels.(ch).free_gated <- gated
+
+let free_gated t ~ch =
+  if ch < 0 || ch >= t.cfg.n_channels then
+    invalid_arg "Board.free_gated: channel out of range";
+  t.channels.(ch).free_gated
 
 let bind_vci t ~vci ch =
   if Hashtbl.mem t.vcs vci then invalid_arg "Board.bind_vci: VCI in use";
@@ -672,7 +684,13 @@ let recycle_buffers vc =
 let take_free_buffer vc =
   match Queue.take_opt vc.fbufs with
   | Some d -> Some d
-  | None -> Desc_queue.board_dequeue vc.channel.free_q
+  | None ->
+      (* A gated channel sees an empty free queue (the injected
+         starvation fault): descriptors the host enqueued stay put, so
+         buffer conservation still holds — the PDU is dropped for want
+         of a buffer, not leaked. *)
+      if vc.channel.free_gated then None
+      else Desc_queue.board_dequeue vc.channel.free_q
 
 (* Make sure buffers 0..idx exist for the current PDU; false on buffer
    exhaustion. *)

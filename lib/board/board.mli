@@ -187,6 +187,17 @@ val set_irq_filter : t -> (interrupt_reason -> bool) option -> unit
     Recovery from eaten [Rx_nonempty] assertions requires the
     [irq_reassert] watchdog. *)
 
+val set_free_gate : t -> ch:int -> bool -> unit
+(** Gate (or ungate) one channel's generic free queue: while gated, the
+    board behaves as if the host had stopped replenishing it — PDU
+    arrivals needing a fresh buffer are dropped and counted
+    ([pdus_dropped_no_buffer]). Descriptors already in the queue stay
+    there (buffer conservation holds), per-VCI private buffers keep
+    working, and other channels are unaffected. The per-ADC free-queue
+    starvation fault ([freestarve#N] in {!Osiris_fault.Plan}). *)
+
+val free_gated : t -> ch:int -> bool
+
 val timeout_marker_addr : int
 (** The [addr] field of abort markers (len 0, eop) emitted by the
     reassembly-timeout sweeper; board-decision aborts use 0. Lets the

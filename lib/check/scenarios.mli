@@ -36,3 +36,14 @@ val board_to_host :
   t
 (** Receive-direction scenario: the board enqueues, the host dequeues —
     exercising the [shadow_head] side of the discipline. *)
+
+val switch_datapath : ?queue_cells:int -> ?items:int -> unit -> t
+(** Switch output-queue scenario: an ingress process pushes [items]
+    (default 8) cells for one routed VC while an egress process drains
+    the output port, both yielding after every step. Probes: the
+    switch's conservation equation (cells in = forwarded + queued +
+    dropped) at every choice point, VCI rewriting on every drained
+    cell, and at_end liveness — every cell forwarded or dropped to a
+    full queue. [queue_cells] (default 3, deliberately smaller than
+    the burst) sizes the output queue so overflow drops occur under
+    some schedules. *)

@@ -1,6 +1,7 @@
 module Atm_link = Osiris_link.Atm_link
 module Board = Osiris_board.Board
 module Rng = Osiris_util.Rng
+module Switch = Osiris_switch.Switch
 
 type t = {
   a : Host.t;
@@ -29,3 +30,150 @@ let pair ?(machine_a = Machine.ds5000_200) ?(machine_b = Machine.ds5000_200)
   in
   let net = connect eng ?link a b in
   (eng, net)
+
+(* ------------------------------------------------------------------ *)
+(* Multi-host topologies through the cell-switch fabric.               *)
+(* ------------------------------------------------------------------ *)
+
+type endpoint = {
+  host : Host.t;
+  to_fabric : Atm_link.t;
+  from_fabric : Atm_link.t;
+  sw : int;
+  port : int;
+}
+
+type topology = {
+  endpoints : endpoint array;
+  switches : Switch.t array;
+  trunk_ports : int option array;
+  mutable next_vci : int;
+}
+
+type vc = { vc_src : int; vc_dst : int; src_vci : int; dst_vci : int }
+
+(* First VCI handed out by [open_vc]: clear of the kernel IP VCI (5) and
+   of the small raw VCIs the test suites bind by hand. *)
+let first_user_vci = 32
+
+let host topo i = topo.endpoints.(i).host
+let nhosts topo = Array.length topo.endpoints
+
+let fresh_vci topo =
+  let v = topo.next_vci in
+  if v > 0xffff then invalid_arg "Network.open_vc: VCI space exhausted";
+  topo.next_vci <- v + 1;
+  v
+
+(* Build one host and wire it to [port] of [sw_idx]/[sw]: the host's tx
+   link is the switch port's ingress and vice versa. *)
+let make_endpoint eng machine config link rng sw sw_idx ~port ~index =
+  let host =
+    Host.create eng machine
+      ~addr:(Int32.of_int (0x0a000001 + index))
+      { config with Host.seed = config.Host.seed + index }
+  in
+  let to_fabric = Atm_link.create eng (Rng.split rng) link in
+  let from_fabric = Atm_link.create eng (Rng.split rng) link in
+  Board.attach host.Host.board ~tx_link:to_fabric ~rx_link:from_fabric;
+  Switch.attach_port sw ~port ~ingress:to_fabric ~egress:from_fabric;
+  Host.start host;
+  { host; to_fabric; from_fabric; sw = sw_idx; port }
+
+let star ?(n = 3) ?(machine = Machine.ds5000_200)
+    ?(config = Host.default_config) ?(link = Atm_link.default_config)
+    ?(switch = Switch.default_config) ?(seed = 7) () =
+  if n < 2 then invalid_arg "Network.star: need at least 2 hosts";
+  let eng = Osiris_sim.Engine.create () in
+  let sw = Switch.create eng ~name:"sw0" { switch with Switch.nports = n } in
+  let rng = Rng.create ~seed in
+  let endpoints =
+    Array.init n (fun i ->
+        make_endpoint eng machine config link rng sw 0 ~port:i ~index:i)
+  in
+  Switch.start sw;
+  ( eng,
+    {
+      endpoints;
+      switches = [| sw |];
+      trunk_ports = [| None |];
+      next_vci = first_user_vci;
+    } )
+
+let chain ?(n = 4) ?(machine = Machine.ds5000_200)
+    ?(config = Host.default_config) ?(link = Atm_link.default_config)
+    ?(switch = Switch.default_config) ?(seed = 7) () =
+  if n < 2 then invalid_arg "Network.chain: need at least 2 hosts";
+  let eng = Osiris_sim.Engine.create () in
+  let h0 = (n + 1) / 2 in
+  (* hosts on sw0; the rest sit on sw1 *)
+  let h1 = n - h0 in
+  let trunk0 = h0 and trunk1 = h1 in
+  let sw0 =
+    Switch.create eng ~name:"sw0" { switch with Switch.nports = h0 + 1 }
+  in
+  let sw1 =
+    Switch.create eng ~name:"sw1" { switch with Switch.nports = h1 + 1 }
+  in
+  let rng = Rng.create ~seed in
+  let endpoints =
+    Array.init n (fun i ->
+        if i < h0 then
+          make_endpoint eng machine config link rng sw0 0 ~port:i ~index:i
+        else
+          make_endpoint eng machine config link rng sw1 1 ~port:(i - h0)
+            ~index:i)
+  in
+  (* The inter-switch trunk: one striped link per direction, each the
+     egress of one switch and the ingress of the other. *)
+  let trunk_01 = Atm_link.create eng (Rng.split rng) link in
+  let trunk_10 = Atm_link.create eng (Rng.split rng) link in
+  Switch.attach_port sw0 ~port:trunk0 ~ingress:trunk_10 ~egress:trunk_01;
+  Switch.attach_port sw1 ~port:trunk1 ~ingress:trunk_01 ~egress:trunk_10;
+  Switch.start sw0;
+  Switch.start sw1;
+  ( eng,
+    {
+      endpoints;
+      switches = [| sw0; sw1 |];
+      trunk_ports = [| Some trunk0; Some trunk1 |];
+      next_vci = first_user_vci;
+    } )
+
+let open_vc topo ~src ~dst =
+  let nh = nhosts topo in
+  if src < 0 || src >= nh || dst < 0 || dst >= nh || src = dst then
+    invalid_arg "Network.open_vc: bad endpoints";
+  let s = topo.endpoints.(src) and d = topo.endpoints.(dst) in
+  let src_vci = fresh_vci topo in
+  let dst_vci =
+    if s.sw = d.sw then begin
+      let out_vci = fresh_vci topo in
+      Switch.add_route topo.switches.(s.sw) ~in_port:s.port ~in_vci:src_vci
+        ~out_port:d.port ~out_vci;
+      out_vci
+    end
+    else begin
+      let trunk_vci = fresh_vci topo in
+      let out_vci = fresh_vci topo in
+      let trunk_s =
+        match topo.trunk_ports.(s.sw) with
+        | Some p -> p
+        | None -> invalid_arg "Network.open_vc: source switch has no trunk"
+      in
+      let trunk_d =
+        match topo.trunk_ports.(d.sw) with
+        | Some p -> p
+        | None ->
+            invalid_arg "Network.open_vc: destination switch has no trunk"
+      in
+      Switch.add_route topo.switches.(s.sw) ~in_port:s.port ~in_vci:src_vci
+        ~out_port:trunk_s ~out_vci:trunk_vci;
+      Switch.add_route topo.switches.(d.sw) ~in_port:trunk_d
+        ~in_vci:trunk_vci ~out_port:d.port ~out_vci;
+      out_vci
+    end
+  in
+  Board.bind_vci d.host.Host.board ~vci:dst_vci
+    (Board.kernel_channel d.host.Host.board);
+  { vc_src = src; vc_dst = dst; src_vci; dst_vci }

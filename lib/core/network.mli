@@ -1,6 +1,13 @@
-(** Two hosts with their OSIRIS boards linked back-to-back, as in the
-    paper's §4 testbed ("a pair of workstations connected by a pair of
-    OSIRIS boards linked back-to-back"). *)
+(** Host topologies: the paper's back-to-back pair, and multi-host
+    fabrics built from {!Osiris_switch.Switch}.
+
+    The original testbed is §4's "pair of workstations connected by a
+    pair of OSIRIS boards linked back-to-back" — {!connect}/{!pair},
+    unchanged. {!star} and {!chain} generalize it: every host keeps its
+    own transmit and receive striped links, but they now terminate on
+    switch ports instead of directly on the peer, and {!open_vc}
+    allocates per-hop VCIs and programs the switches' routing tables end
+    to end. *)
 
 type t = {
   a : Host.t;
@@ -28,3 +35,69 @@ val pair :
   Osiris_sim.Engine.t * t
 (** Convenience: a fresh engine and two identical hosts (DECstation
     5000/200 by default) already connected and started. *)
+
+(** {2 Multi-host topologies} *)
+
+type endpoint = {
+  host : Host.t;
+  to_fabric : Osiris_link.Atm_link.t;  (** host tx → switch ingress *)
+  from_fabric : Osiris_link.Atm_link.t;  (** switch egress → host rx *)
+  sw : int;  (** index into {!topology.switches} *)
+  port : int;  (** this host's port on that switch *)
+}
+
+type topology = {
+  endpoints : endpoint array;
+  switches : Osiris_switch.Switch.t array;
+  trunk_ports : int option array;
+      (** per-switch port of the inter-switch trunk, when one exists *)
+  mutable next_vci : int;  (** next VCI {!open_vc} will hand out *)
+}
+
+type vc = {
+  vc_src : int;  (** sending host index *)
+  vc_dst : int;  (** receiving host index *)
+  src_vci : int;  (** VCI the sender transmits on ([Driver.send ~vci]) *)
+  dst_vci : int;
+      (** VCI the cells carry on the receiver's link after per-hop
+          rewriting — already bound to the receiver's kernel channel *)
+}
+
+val star :
+  ?n:int ->
+  ?machine:Machine.t ->
+  ?config:Host.config ->
+  ?link:Osiris_link.Atm_link.config ->
+  ?switch:Osiris_switch.Switch.config ->
+  ?seed:int ->
+  unit ->
+  Osiris_sim.Engine.t * topology
+(** [n] hosts (default 3, minimum 2) on the [n] ports of one switch, all
+    started. Host [i] gets IP [10.0.0.(i+1)] and host seed
+    [config.seed + i]; [seed] (default 7) seeds the link RNGs. The
+    [switch] config's [nports] is overridden to [n]. *)
+
+val chain :
+  ?n:int ->
+  ?machine:Machine.t ->
+  ?config:Host.config ->
+  ?link:Osiris_link.Atm_link.config ->
+  ?switch:Osiris_switch.Switch.config ->
+  ?seed:int ->
+  unit ->
+  Osiris_sim.Engine.t * topology
+(** [n] hosts (default 4) split across two switches joined by a striped
+    trunk link per direction: the first [ceil(n/2)] hosts sit on switch
+    0, the rest on switch 1, and each switch's last port is the trunk. *)
+
+val host : topology -> int -> Host.t
+val nhosts : topology -> int
+
+val open_vc : topology -> src:int -> dst:int -> vc
+(** Allocate a fresh virtual circuit from host [src] to host [dst]:
+    fresh VCIs for every hop (starting at 32, clear of the kernel IP VCI
+    and hand-bound test VCIs), routing-table entries with VCI rewriting
+    on each traversed switch (one for same-switch circuits, two across
+    the trunk), and a receive binding of the final VCI to [dst]'s kernel
+    channel. The caller sends with [Driver.send ~vci:vc.src_vci] and
+    receives by binding [vc.dst_vci] in [dst]'s demux. *)

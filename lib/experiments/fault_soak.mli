@@ -11,6 +11,14 @@
     not byte-identical to a sent PDU, and {!Osiris_core.Invariants}
     clean at quiescence. *)
 
+val pattern_byte : msg:int -> off:int -> int
+(** Byte [off] of message [msg]: a pure function of both, with the message
+    index carried in the first two bytes, so deliveries verify without
+    keeping sent copies. Shared with the incast experiment. *)
+
+val fill_pattern : msg:int -> len:int -> Bytes.t
+val intact : msg:int -> Bytes.t -> bool
+
 type outcome = {
   seed : int;
   plan : string;  (** {!Osiris_fault.Plan.to_string}, for reproduction *)

@@ -1,0 +1,223 @@
+open Osiris_sim
+module Host = Osiris_core.Host
+module Network = Osiris_core.Network
+module Machine = Osiris_core.Machine
+module Driver = Osiris_core.Driver
+module Invariants = Osiris_core.Invariants
+module Board = Osiris_board.Board
+module Switch = Osiris_switch.Switch
+module Msg = Osiris_xkernel.Msg
+module Demux = Osiris_xkernel.Demux
+
+type outcome = {
+  senders : int;
+  queue_cells : int;
+  offered_pdus : int;
+  delivered_pdus : int;
+  corrupted_delivered : int;
+  offered_mbps : float;
+  goodput_mbps : float;
+  cells_in : int;
+  forwarded_cells : int;
+  switch_dropped : int;
+  max_occupancy : int;
+  residual_queued : int;
+  timeout_aborts : int;
+  board_timeouts : int;
+  reassembly_errors : int;
+  pdus_dropped_no_buffer : int;
+  residual_reassemblies : int;
+  violations : string list;
+}
+
+(* The accounting contract behind the figure: every offered PDU must be
+   delivered byte-exact, or its loss must be explained by switch drops
+   with the receiver's recovery path (reassembly timeout sweeps, sequence
+   aborts, CRC rejects) having absorbed the damage — never by a leak. *)
+let accounting o =
+  let lost = o.offered_pdus - o.delivered_pdus in
+  (if lost > 0 && o.switch_dropped = 0 then
+     [
+       Printf.sprintf
+         "incast accounting: %d PDUs lost but the switch dropped no cells"
+         lost;
+     ]
+   else [])
+  @ (if
+       lost > 0
+       && o.board_timeouts + o.reassembly_errors + o.timeout_aborts
+          + o.pdus_dropped_no_buffer
+          = 0
+       && o.switch_dropped < o.cells_in / max 1 o.offered_pdus
+     then
+       [
+         Printf.sprintf
+           "incast accounting: %d PDUs lost with no recovery-path \
+            evidence at the receiver"
+           lost;
+       ]
+     else [])
+  @
+  if o.residual_queued > 0 then
+    [
+      Printf.sprintf
+        "incast accounting: %d cells still queued in the switch after the \
+         grace period"
+        o.residual_queued;
+    ]
+  else []
+
+let run ?(machine = Machine.ds5000_200) ?(senders = 3) ?(queue_cells = 48)
+    ?(rounds = 10) ?(msg_size = 2048) ?(seed = 5) ?(round_gap = Time.us 400)
+    ?(stagger = Time.us 30) ?(grace = Time.ms 8) () =
+  let board =
+    {
+      Board.default_config with
+      Board.reassembly_timeout = Time.ms 2;
+      irq_reassert = Time.us 500;
+    }
+  in
+  let cfg = { Host.default_config with Host.board; seed = 4000 + seed } in
+  let switch = { Switch.default_config with Switch.queue_cells } in
+  let eng, topo =
+    Network.star ~n:(senders + 1) ~machine ~config:cfg ~switch
+      ~seed:(100 + seed) ()
+  in
+  let recv = Network.host topo 0 in
+  let vcs =
+    Array.init senders (fun i -> Network.open_vc topo ~src:(i + 1) ~dst:0)
+  in
+  let delivered = ref 0 and corrupted = ref 0 and bytes_ok = ref 0 in
+  Array.iter
+    (fun vc ->
+      Demux.bind recv.Host.demux ~vci:vc.Network.dst_vci ~name:"incast-sink"
+        (fun ~vci:_ m ->
+          let data = Msg.read_all m in
+          let len = Bytes.length data in
+          incr delivered;
+          if len = msg_size && len >= 2 then begin
+            let msg =
+              Char.code (Bytes.get data 0)
+              lor (Char.code (Bytes.get data 1) lsl 8)
+            in
+            if Fault_soak.intact ~msg data then bytes_ok := !bytes_ok + len
+            else incr corrupted
+          end
+          else incr corrupted;
+          Msg.dispose m))
+    vcs;
+  (* All senders blast the same receiver port in near-synchronized rounds
+     (a small per-sender stagger keeps the contention partial rather than
+     all-or-nothing), one PDU per round, paced so the output port can
+     drain between rounds — loss comes from burst contention at the
+     switch's output queue, not from a saturated steady state. *)
+  Array.iteri
+    (fun i vc ->
+      let sender = Network.host topo (i + 1) in
+      Process.spawn eng
+        ~name:(Printf.sprintf "incast-tx%d" i)
+        (fun () ->
+          Process.sleep eng (stagger * i);
+          for r = 0 to rounds - 1 do
+            let id = (i * rounds) + r in
+            let m = Msg.alloc sender.Host.vs ~len:msg_size () in
+            Msg.blit_into m ~off:0
+              ~src:(Fault_soak.fill_pattern ~msg:id ~len:msg_size);
+            Driver.send sender.Host.driver ~vci:vc.Network.src_vci m;
+            Process.sleep eng round_gap
+          done))
+    vcs;
+  let horizon = (round_gap * rounds) + (stagger * senders) + Time.ms 2 in
+  Engine.run ~until:(horizon + grace) eng;
+  let sw = topo.Network.switches.(0) in
+  let st = Switch.stats sw in
+  let dstats = Driver.stats recv.Host.driver in
+  let bstats = Board.stats recv.Host.board in
+  let offered_pdus = senders * rounds in
+  let active_ns = max 1 horizon in
+  let violations =
+    Invariants.balance ~what:"switch cell conservation"
+      ~total:st.Switch.cells_in ~parts:(Switch.conservation sw)
+    @ List.concat
+        (List.init (Network.nhosts topo) (fun i ->
+             let h = Network.host topo i in
+             Invariants.check ~quiescent:true ~board:h.Host.board
+               ~driver:h.Host.driver ()))
+  in
+  let o =
+    {
+      senders;
+      queue_cells;
+      offered_pdus;
+      delivered_pdus = !delivered;
+      corrupted_delivered = !corrupted;
+      offered_mbps =
+        Report.mbps ~bytes_count:(offered_pdus * msg_size) ~ns:active_ns;
+      goodput_mbps = Report.mbps ~bytes_count:!bytes_ok ~ns:active_ns;
+      cells_in = st.Switch.cells_in;
+      forwarded_cells = st.Switch.forwarded;
+      switch_dropped =
+        st.Switch.dropped_overflow + st.Switch.dropped_no_route;
+      max_occupancy = st.Switch.max_occupancy;
+      residual_queued = Switch.occupancy sw;
+      timeout_aborts = dstats.Driver.timeout_aborts;
+      board_timeouts = bstats.Board.reassembly_timeouts;
+      reassembly_errors = bstats.Board.reassembly_errors;
+      pdus_dropped_no_buffer = bstats.Board.pdus_dropped_no_buffer;
+      residual_reassemblies = Board.reassemblies_in_progress recv.Host.board;
+      violations;
+    }
+  in
+  { o with violations = o.violations @ accounting o }
+
+let pp_outcome fmt o =
+  Format.fprintf fmt
+    "%d senders, q=%d: %d/%d delivered (%d corrupt), %.1f of %.1f Mb/s, \
+     switch %d in / %d fwd / %d dropped (peak occ %d), rx %d board \
+     timeouts + %d seq errors + %d drv timeout aborts, %d residual, %d \
+     violations"
+    o.senders o.queue_cells o.delivered_pdus o.offered_pdus
+    o.corrupted_delivered o.goodput_mbps o.offered_mbps o.cells_in
+    o.forwarded_cells o.switch_dropped o.max_occupancy o.board_timeouts
+    o.reassembly_errors o.timeout_aborts o.residual_reassemblies
+    (List.length o.violations)
+
+(* ------------------------------------------------------------------ *)
+(* The BENCH figure: sweep the output-queue capacity under a fixed
+   3-sender burst pattern. Small queues damage most PDUs (every drop
+   kills a whole PDU at reassembly); once the queue covers a full round's
+   burst, everything gets through. *)
+
+let sweep_queues = [ 12; 24; 48; 96; 144; 192 ]
+
+let figure_goodput_vs_queue () =
+  let outs = List.map (fun q -> run ~queue_cells:q ()) sweep_queues in
+  List.iter
+    (fun o ->
+      if o.violations <> [] then
+        failwith
+          ("incast: invariant violation: " ^ String.concat "; " o.violations))
+    outs;
+  let pt f = List.map (fun o -> (o.queue_cells, f o)) outs in
+  {
+    Report.title =
+      "incast: 3 senders blast 1 receiver through one switch output port \
+       (2 KB PDUs, synchronized rounds, recovery timers on)";
+    xlabel = "output queue capacity (cells)";
+    ylabel = "PDUs / cells / Mb/s (see series)";
+    series =
+      [
+        { Report.label = "offered PDUs"; points = pt (fun o -> float_of_int o.offered_pdus) };
+        { Report.label = "delivered PDUs"; points = pt (fun o -> float_of_int o.delivered_pdus) };
+        { Report.label = "rx timeout aborts"; points = pt (fun o -> float_of_int (o.board_timeouts + o.timeout_aborts)) };
+        { Report.label = "switch cell drops"; points = pt (fun o -> float_of_int o.switch_dropped) };
+        { Report.label = "goodput (Mb/s)"; points = pt (fun o -> o.goodput_mbps) };
+      ];
+    paper_note =
+      "testbed extension, not a paper figure: AURORA's switches sat \
+       between the OSIRIS boards; output-queue overflow during \
+       many-to-one bursts is absorbed by the adaptor's reassembly \
+       timeout and CRC machinery — every loss is accounted (cells in = \
+       forwarded + queued + dropped; lost PDUs imply switch drops), \
+       nothing leaks";
+  }

@@ -1,0 +1,64 @@
+(** Incast contention through the cell-switch fabric.
+
+    N senders on a {!Osiris_core.Network.star} topology blast one
+    receiver in near-synchronized rounds, overloading the receiver port's
+    finite output queue on the switch. Every payload byte is a pure
+    function of the message index (shared with {!Fault_soak}), so
+    deliveries are verified byte-exact; every loss must be explained by
+    counted switch drops and absorbed by the receiver's recovery
+    machinery (reassembly timeout sweeps, sequence aborts, CRC rejects) —
+    the run reports a violation if PDUs vanish without that evidence, if
+    the switch's cell-conservation equation breaks, or if any host fails
+    the {!Osiris_core.Invariants} quiescence checks. *)
+
+type outcome = {
+  senders : int;
+  queue_cells : int;  (** switch output-queue capacity used for the run *)
+  offered_pdus : int;
+  delivered_pdus : int;
+  corrupted_delivered : int;  (** must be 0: CRC must catch damage *)
+  offered_mbps : float;
+  goodput_mbps : float;  (** byte-verified deliveries only *)
+  cells_in : int;  (** cells the switch accepted *)
+  forwarded_cells : int;
+  switch_dropped : int;  (** overflow + no-route drops *)
+  max_occupancy : int;  (** switch queue high-water mark, cells *)
+  residual_queued : int;  (** must be 0 after the grace period *)
+  timeout_aborts : int;  (** receiver driver timeout-marker chains *)
+  board_timeouts : int;  (** receiver board sweeper firings *)
+  reassembly_errors : int;
+  pdus_dropped_no_buffer : int;
+  residual_reassemblies : int;  (** must be 0 at quiescence *)
+  violations : string list;  (** must be empty *)
+}
+
+val run :
+  ?machine:Osiris_core.Machine.t ->
+  ?senders:int ->
+  ?queue_cells:int ->
+  ?rounds:int ->
+  ?msg_size:int ->
+  ?seed:int ->
+  ?round_gap:Osiris_sim.Time.t ->
+  ?stagger:Osiris_sim.Time.t ->
+  ?grace:Osiris_sim.Time.t ->
+  unit ->
+  outcome
+(** One seeded incast run: [senders] (default 3) each send [rounds]
+    (default 10) PDUs of [msg_size] (default 2 KB) bytes to host 0, one
+    per [round_gap] (default 400 µs), with sender [i] offset by
+    [i * stagger] (default 30 µs). Recovery timers are enabled on every
+    host (2 ms reassembly timeout, 500 µs interrupt re-assert); [grace]
+    (default 8 ms) runs after the last send so they can drain. *)
+
+val pp_outcome : Format.formatter -> outcome -> unit
+
+val sweep_queues : int list
+(** Queue capacities the figure sweeps. *)
+
+val figure_goodput_vs_queue : unit -> Report.figure
+(** The BENCH.json curve: offered vs delivered PDUs, receiver timeout
+    aborts, switch cell drops and byte-verified goodput as the output
+    queue grows from burst-crushing to burst-absorbing. Raises on any
+    accounting violation — the conservation contract is load-bearing,
+    not advisory. *)

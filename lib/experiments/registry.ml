@@ -107,11 +107,19 @@ let all =
          recovery timers on";
       kind = Figure (fun () -> Fault_soak.figure_goodput_vs_drop ());
     };
+    {
+      id = "incast";
+      description =
+        "fabric: N-sender incast through one switch port vs output-queue \
+         capacity, losses fully accounted";
+      kind = Figure (fun () -> Incast.figure_goodput_vs_queue ());
+    };
   ]
 
 let quick =
   List.filter
-    (fun e -> not (List.mem e.id [ "figure2"; "figure3"; "figure4" ]))
+    (fun e ->
+      not (List.mem e.id [ "figure2"; "figure3"; "figure4"; "incast" ]))
     all
 
 let find id = List.find_opt (fun e -> e.id = id) all

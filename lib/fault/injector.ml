@@ -38,7 +38,13 @@ let apply t now =
     | Some cap -> cap
     | None -> t.base.Atm_link.rx_fifo_cells);
   t.irq_prob <- k.Plan.k_irq_loss;
-  t.irq_prob_ch <- k.Plan.k_irq_loss_ch
+  t.irq_prob_ch <- k.Plan.k_irq_loss_ch;
+  match t.board with
+  | None -> ()
+  | Some b ->
+      for ch = 0 to (Board.config b).Board.n_channels - 1 do
+        Board.set_free_gate b ~ch (List.mem ch k.Plan.k_free_starve)
+      done
 
 (* Effective interrupt-loss probability for one receive channel: the
    harsher of the global burst and the channel-targeted one. *)
@@ -107,6 +113,12 @@ let disarm t =
     for l = 0 to t.base.Atm_link.nlinks - 1 do
       Atm_link.set_link_state t.link ~link:l true
     done;
+    (match t.board with
+    | None -> ()
+    | Some b ->
+        for ch = 0 to (Board.config b).Board.n_channels - 1 do
+          Board.set_free_gate b ~ch false
+        done);
     Trace.emitf Trace.Fault ~now:(Engine.now t.eng) "injector disarmed"
   end
 

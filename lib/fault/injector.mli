@@ -4,11 +4,15 @@
     re-derives every knob from the plan at that instant and pushes it
     into the link (loss/corruption/duplication probabilities, carrier
     state, receive-FIFO squeeze) and, when a board is supplied, an
-    interrupt-loss filter drawing from the injector's own seeded RNG.
+    interrupt-loss filter drawing from the injector's own seeded RNG
+    plus the per-channel free-queue starvation gates
+    ([Board.set_free_gate], from the plan's [free_starve] windows).
     Interrupt loss resolves per receive channel: a [Rx_nonempty ch]
     interrupt is suppressed with the max of the plan's global
     [irq_loss] probability and the channel-targeted [irq_loss_ch]
-    probability for [ch].
+    probability for [ch]. Flap storms need no injector support beyond
+    their dense boundary list: each toggle re-derives the carrier state
+    through the same [set_link_state] path as a clean outage.
     The traffic RNG streams are untouched, so the same traffic seed with
     different plans stays comparable.
 

@@ -14,6 +14,8 @@ type t = {
   rx_squeeze : (int * window) list;
   irq_loss : burst list;
   irq_loss_ch : (int * burst) list;
+  free_starve : (int * window) list;
+  flap : (int * window * Time.t) list;
 }
 
 let none =
@@ -27,6 +29,8 @@ let none =
     rx_squeeze = [];
     irq_loss = [];
     irq_loss_ch = [];
+    free_starve = [];
+    flap = [];
   }
 
 type knobs = {
@@ -41,7 +45,15 @@ type knobs = {
          absent *)
   k_down : int list;  (* channels whose carrier is cut *)
   k_squeeze : int option;  (* tightest active rx-FIFO capacity *)
+  k_free_starve : int list;  (* channels whose free queue is withheld *)
 }
+
+(* A flapping link is down on even half-periods of its storm window:
+   down at [w_from], up one half-period later, and so on until the
+   window closes (the injector restores the carrier at [w_until]). *)
+let flap_is_down (w, half_period) now =
+  now >= w.w_from && now < w.w_until && half_period > 0
+  && (now - w.w_from) / half_period mod 2 = 0
 
 let active_prob bursts now =
   List.fold_left
@@ -72,10 +84,15 @@ let knobs_at t now =
            | p -> Some (ch, p))
          chans);
     k_down =
-      List.filter_map
-        (fun (l, w) ->
-          if now >= w.w_from && now < w.w_until then Some l else None)
-        t.link_down;
+      List.sort_uniq compare
+        (List.filter_map
+           (fun (l, w) ->
+             if now >= w.w_from && now < w.w_until then Some l else None)
+           t.link_down
+        @ List.filter_map
+            (fun (l, w, hp) ->
+              if flap_is_down (w, hp) now then Some l else None)
+            t.flap);
     k_squeeze =
       List.fold_left
         (fun acc (cap, w) ->
@@ -83,11 +100,31 @@ let knobs_at t now =
             match acc with Some c when c <= cap -> acc | _ -> Some cap
           else acc)
         None t.rx_squeeze;
+    k_free_starve =
+      List.sort_uniq compare
+        (List.filter_map
+           (fun (ch, w) ->
+             if now >= w.w_from && now < w.w_until then Some ch else None)
+           t.free_starve);
   }
 
 let boundaries t =
   let of_burst b = [ b.b_from; b.b_until ] in
   let of_window w = [ w.w_from; w.w_until ] in
+  (* A flap storm toggles at every half-period inside its window, so the
+     injector must re-derive the carrier state at each toggle. *)
+  let of_flap (_, w, hp) =
+    if hp <= 0 then of_window w
+    else begin
+      let toggles = ref [ w.w_until ] in
+      let time = ref w.w_from in
+      while !time < w.w_until do
+        toggles := !time :: !toggles;
+        time := !time + hp
+      done;
+      !toggles
+    end
+  in
   List.concat
     [
       List.concat_map of_burst t.drop;
@@ -98,6 +135,8 @@ let boundaries t =
       List.concat_map (fun (_, b) -> of_burst b) t.irq_loss_ch;
       List.concat_map (fun (_, w) -> of_window w) t.link_down;
       List.concat_map (fun (_, w) -> of_window w) t.rx_squeeze;
+      List.concat_map (fun (_, w) -> of_window w) t.free_starve;
+      List.concat_map of_flap t.flap;
     ]
   |> List.sort_uniq compare
 
@@ -131,10 +170,13 @@ let random ?(nlinks = 4) ~seed ~horizon () =
     link_down = [ (Rng.int rng nlinks, window ()) ];
     rx_squeeze = [ (4 + Rng.int rng 5, window ()) ];
     irq_loss = bursts 1 (0.2 +. Rng.float rng 0.4) 0.0;
-    (* Per-channel interrupt loss is a targeted fault (the random soak
-       covers the global dimension); seed it explicitly, e.g.
-       "irqloss#3@2ms-4ms=1". *)
+    (* Per-channel interrupt loss, free-queue starvation and flap storms
+       are targeted faults (the random soak covers the global
+       dimensions); seed them explicitly, e.g. "irqloss#3@2ms-4ms=1",
+       "freestarve#1@2ms-4ms", "flap#2@2ms-4ms=40us". *)
     irq_loss_ch = [];
+    free_starve = [];
+    flap = [];
   }
 
 (* ------------------------------------------------------------------ *)
@@ -160,7 +202,15 @@ let to_string t =
         t.link_down
     @ List.map
         (fun (c, w) -> Printf.sprintf "squeeze#%d@%d-%d" c w.w_from w.w_until)
-        t.rx_squeeze)
+        t.rx_squeeze
+    @ List.map
+        (fun (c, w) ->
+          Printf.sprintf "freestarve#%d@%d-%d" c w.w_from w.w_until)
+        t.free_starve
+    @ List.map
+        (fun (l, w, hp) ->
+          Printf.sprintf "flap#%d@%d-%d=%d" l w.w_from w.w_until hp)
+        t.flap)
 
 let parse_time s =
   let num mult suffix =
@@ -239,6 +289,26 @@ let of_string s =
                 !t with
                 rx_squeeze = !t.rx_squeeze @ [ (req_arg (), { w_from; w_until }) ];
               }
+        | "freestarve" ->
+            let w_from, w_until = parse_range rest in
+            t :=
+              {
+                !t with
+                free_starve =
+                  !t.free_starve @ [ (req_arg (), { w_from; w_until }) ];
+              }
+        | "flap" -> (
+            match String.split_on_char '=' rest with
+            | [ range; hp ] ->
+                let w_from, w_until = parse_range range in
+                t :=
+                  {
+                    !t with
+                    flap =
+                      !t.flap
+                      @ [ (req_arg (), { w_from; w_until }, parse_time hp) ];
+                  }
+            | _ -> failwith ("Fault_plan: bad flap " ^ part))
         | _ -> failwith ("Fault_plan: unknown item " ^ part))
   in
   List.iter item (String.split_on_char ';' s);

@@ -17,7 +17,14 @@
     Interrupt loss comes in two granularities: [irqloss@a-b=p] suppresses
     receive interrupts for every channel, while [irqloss#3@a-b=p] targets
     only ADC channel 3 (the injector takes the max of the two for a
-    channel with both active). *)
+    channel with both active).
+
+    Two further targeted faults: [freestarve#1@2ms-4ms] withholds
+    channel 1's free-queue replenishment for the window, and
+    [flap#2@2ms-4ms=40us] cycles channel 2's carrier down/up every
+    40 µs for the window — a flap storm faster than one PDU's wire time
+    (the single clean outage of [down#N] taken to its re-striping
+    stress limit). *)
 
 type burst = {
   b_from : Osiris_sim.Time.t;
@@ -38,6 +45,14 @@ type t = {
   irq_loss : burst list;  (** lost coalesced receive interrupts *)
   irq_loss_ch : (int * burst) list;
       (** (ADC channel, burst): interrupt loss for one channel only *)
+  free_starve : (int * window) list;
+      (** (channel, window): the channel's generic free queue yields
+          nothing — host replenishment withheld ([freestarve#N@a-b]) *)
+  flap : (int * window * Osiris_sim.Time.t) list;
+      (** (channel, storm window, half-period): carrier flap storm — the
+          link toggles down/up every half-period for the whole window,
+          starting down ([flap#N@a-b=hp]; pick a half-period shorter
+          than one PDU's wire time to stress re-striping) *)
 }
 
 val none : t
@@ -54,7 +69,10 @@ type knobs = {
       (** per-channel interrupt-loss probability; channels with no active
           burst are absent *)
   k_down : int list;
+      (** channels whose carrier is cut right now (outages and the down
+          half-periods of flap storms) *)
   k_squeeze : int option;
+  k_free_starve : int list;  (** channels whose free queue is withheld *)
 }
 
 val knobs_at : t -> Osiris_sim.Time.t -> knobs

@@ -1,0 +1,207 @@
+module Engine = Osiris_sim.Engine
+module Process = Osiris_sim.Process
+module Signal = Osiris_sim.Signal
+module Time = Osiris_sim.Time
+module Trace = Osiris_sim.Trace
+module Cell = Osiris_atm.Cell
+module Atm_link = Osiris_link.Atm_link
+module Metrics = Osiris_obs.Metrics
+
+type config = {
+  nports : int;
+  queue_cells : int;
+  forward_latency : Time.t;
+}
+
+let default_config =
+  { nports = 4; queue_cells = 32; forward_latency = Time.us 2 }
+
+type port = {
+  mutable ingress : Atm_link.t option;
+  mutable egress : Atm_link.t option;
+  out_q : Cell.t Queue.t;
+  out_nonempty : Signal.t;
+}
+
+type stats = {
+  mutable cells_in : int;
+  mutable forwarded : int;
+  mutable dropped_overflow : int;
+  mutable dropped_no_route : int;
+  mutable max_occupancy : int;
+}
+
+type t = {
+  eng : Engine.t;
+  cfg : config;
+  sw_name : string;
+  ports : port array;
+  routes : (int * int, int * int) Hashtbl.t;
+  stats : stats;
+  m_in : Metrics.counter;
+  m_fwd : Metrics.counter;
+  m_drop_ovf : Metrics.counter;
+  m_drop_route : Metrics.counter;
+  mutable started : bool;
+}
+
+let occupancy t =
+  Array.fold_left (fun acc p -> acc + Queue.length p.out_q) 0 t.ports
+
+let create eng ?(name = "sw") cfg =
+  if cfg.nports < 1 then invalid_arg "Switch.create: nports < 1";
+  if cfg.queue_cells < 1 then invalid_arg "Switch.create: queue_cells < 1";
+  let ports =
+    Array.init cfg.nports (fun _ ->
+        {
+          ingress = None;
+          egress = None;
+          out_q = Queue.create ();
+          out_nonempty = Signal.create eng;
+        })
+  in
+  let t =
+    {
+      eng;
+      cfg;
+      sw_name = name;
+      ports;
+      routes = Hashtbl.create 31;
+      stats =
+        {
+          cells_in = 0;
+          forwarded = 0;
+          dropped_overflow = 0;
+          dropped_no_route = 0;
+          max_occupancy = 0;
+        };
+      m_in = Metrics.counter "switch.cells_in";
+      m_fwd = Metrics.counter "switch.forwarded";
+      m_drop_ovf = Metrics.counter "switch.dropped_overflow";
+      m_drop_route = Metrics.counter "switch.dropped_no_route";
+      started = false;
+    }
+  in
+  Metrics.gauge_fn "switch.queued" (fun () -> float_of_int (occupancy t));
+  t
+
+let config t = t.cfg
+let name t = t.sw_name
+let stats t = t.stats
+
+let check_port t fn port =
+  if port < 0 || port >= t.cfg.nports then
+    invalid_arg (Printf.sprintf "Switch.%s: port %d out of range" fn port)
+
+let attach_port t ~port ~ingress ~egress =
+  check_port t "attach_port" port;
+  if t.started then invalid_arg "Switch.attach_port: switch already started";
+  let p = t.ports.(port) in
+  if p.ingress <> None || p.egress <> None then
+    invalid_arg (Printf.sprintf "Switch.attach_port: port %d in use" port);
+  p.ingress <- Some ingress;
+  p.egress <- Some egress
+
+let add_route t ~in_port ~in_vci ~out_port ~out_vci =
+  check_port t "add_route" in_port;
+  check_port t "add_route" out_port;
+  if in_vci < 0 || in_vci > 0xffff || out_vci < 0 || out_vci > 0xffff then
+    invalid_arg "Switch.add_route: vci out of range";
+  Hashtbl.replace t.routes (in_port, in_vci) (out_port, out_vci)
+
+let route t ~in_port ~in_vci = Hashtbl.find_opt t.routes (in_port, in_vci)
+
+let port_occupancy t ~port =
+  check_port t "port_occupancy" port;
+  Queue.length t.ports.(port).out_q
+
+let ingress_cell t ~port cell =
+  check_port t "ingress_cell" port;
+  t.stats.cells_in <- t.stats.cells_in + 1;
+  Metrics.incr t.m_in;
+  match Hashtbl.find_opt t.routes (port, cell.Cell.vci) with
+  | None ->
+      t.stats.dropped_no_route <- t.stats.dropped_no_route + 1;
+      Metrics.incr t.m_drop_route;
+      Trace.emitf Trace.Link ~now:(Engine.now t.eng)
+        "%s: no route for vci %d on port %d, cell dropped" t.sw_name
+        cell.Cell.vci port
+  | Some (out_port, out_vci) ->
+      let p = t.ports.(out_port) in
+      if Queue.length p.out_q >= t.cfg.queue_cells then begin
+        t.stats.dropped_overflow <- t.stats.dropped_overflow + 1;
+        Metrics.incr t.m_drop_ovf;
+        Trace.emitf Trace.Link ~now:(Engine.now t.eng)
+          "%s: output queue %d full (%d cells), cell vci %d dropped"
+          t.sw_name out_port t.cfg.queue_cells cell.Cell.vci
+      end
+      else begin
+        Queue.add { cell with Cell.vci = out_vci } p.out_q;
+        let occ = occupancy t in
+        if occ > t.stats.max_occupancy then t.stats.max_occupancy <- occ;
+        Signal.broadcast p.out_nonempty
+      end
+
+let drain_one t ~port =
+  check_port t "drain_one" port;
+  match Queue.take_opt t.ports.(port).out_q with
+  | None -> None
+  | Some cell ->
+      t.stats.forwarded <- t.stats.forwarded + 1;
+      Metrics.incr t.m_fwd;
+      Some cell
+
+(* One consumer per ingress link: every arriving cell runs the routing +
+   output-enqueue step the instant the link delivers it (input queueing is
+   the link's receive FIFO; contention lives in the output queues). *)
+let ingress_loop t port link () =
+  let rec loop () =
+    let _ch, cell = Atm_link.recv link in
+    ingress_cell t ~port cell;
+    loop ()
+  in
+  loop ()
+
+(* One scheduler per output port: dequeue, hold the cell for the fabric's
+   per-cell forwarding latency, then hand it to the egress link (whose
+   [send] models serialization backpressure and re-stripes by AAL seq). *)
+let egress_loop t port link () =
+  let p = t.ports.(port) in
+  let rec loop () =
+    match drain_one t ~port with
+    | None ->
+        Signal.wait p.out_nonempty;
+        loop ()
+    | Some cell ->
+        Process.sleep t.eng t.cfg.forward_latency;
+        Atm_link.send link cell;
+        loop ()
+  in
+  loop ()
+
+let start t =
+  if t.started then invalid_arg "Switch.start: already started";
+  t.started <- true;
+  Array.iteri
+    (fun i p ->
+      (match p.ingress with
+      | Some link ->
+          Process.spawn t.eng
+            ~name:(Printf.sprintf "%s.in%d" t.sw_name i)
+            (ingress_loop t i link)
+      | None -> ());
+      match p.egress with
+      | Some link ->
+          Process.spawn t.eng
+            ~name:(Printf.sprintf "%s.out%d" t.sw_name i)
+            (egress_loop t i link)
+      | None -> ())
+    t.ports
+
+let conservation t =
+  [
+    ("forwarded", t.stats.forwarded);
+    ("queued", occupancy t);
+    ("dropped_overflow", t.stats.dropped_overflow);
+    ("dropped_no_route", t.stats.dropped_no_route);
+  ]

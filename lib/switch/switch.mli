@@ -1,0 +1,111 @@
+(** Output-queued ATM cell switch.
+
+    The paper's OSIRIS boards sat on the AURORA testbed behind Sunshine-class
+    ATM switches; this module supplies the fabric the reproduction was
+    missing so that more than two hosts can contend for a link. The model is
+    the classic output-queued switch: each of [nports] ports hosts a pair of
+    {!Osiris_link.Atm_link} endpoints (one carrying cells {e into} the
+    switch, one carrying cells {e out}), a per-input-port routing table maps
+    [(in_port, in_vci)] to [(out_port, out_vci)] — rewriting the VCI as a
+    real ATM switch does — and every output port owns a finite cell queue
+    drained at one cell per {!config.forward_latency}.
+
+    Cells that arrive for a full output queue are dropped and counted
+    ([dropped_overflow]), as are cells with no routing entry
+    ([dropped_no_route]). Forwarding preserves the AAL sequence number, so
+    the egress link's [seq mod nlive] striping re-derives a consistent
+    channel assignment and per-link FIFO order survives the hop.
+
+    {b Conservation invariant} (holds at {e every} simulated instant, not
+    just at quiescence):
+    [cells_in = forwarded + occupancy + dropped_overflow + dropped_no_route].
+    A cell is counted [forwarded] when it is committed to the egress pipe
+    (dequeued), even while it still serializes onto the output link. The
+    counters are registered in the {!Osiris_obs.Metrics} registry under
+    [switch.*]. *)
+
+type config = {
+  nports : int;  (** number of ports (each bidirectional) *)
+  queue_cells : int;  (** per-output-port queue capacity, in cells *)
+  forward_latency : Osiris_sim.Time.t;
+      (** per-cell switching latency: the output scheduler holds each
+          dequeued cell this long before handing it to the egress link *)
+}
+
+val default_config : config
+(** 4 ports, 32-cell output queues, 2 µs per-cell forwarding latency —
+    roughly one OC-3 cell time through the fabric. *)
+
+type t
+
+val create :
+  Osiris_sim.Engine.t -> ?name:string -> config -> t
+(** A switch with no ports attached and an empty routing table. [name]
+    (default ["sw"]) labels trace output. *)
+
+val config : t -> config
+val name : t -> string
+
+val attach_port :
+  t -> port:int -> ingress:Osiris_link.Atm_link.t ->
+  egress:Osiris_link.Atm_link.t -> unit
+(** Bind port [port]: [ingress] is the link whose receive side the switch
+    consumes (host/trunk → switch), [egress] the link the switch transmits
+    on (switch → host/trunk). Must be called before {!start}; attaching a
+    port twice or out of range raises [Invalid_argument]. *)
+
+val add_route :
+  t -> in_port:int -> in_vci:int -> out_port:int -> out_vci:int -> unit
+(** Program one routing-table entry. Cells arriving on [in_port] with VCI
+    [in_vci] leave on [out_port] rewritten to [out_vci]. Replaces any
+    previous entry for [(in_port, in_vci)]; ports must be in range and VCIs
+    must fit 16 bits or [Invalid_argument] is raised. *)
+
+val route : t -> in_port:int -> in_vci:int -> (int * int) option
+(** Current table entry, as [(out_port, out_vci)]. *)
+
+val start : t -> unit
+(** Spawn the per-port forwarding processes (one ingress consumer and one
+    output scheduler per attached port). Idempotent per switch is {e not}
+    supported: starting twice raises [Invalid_argument]. *)
+
+(** {2 Synchronous datapath (tests and the schedule explorer)}
+
+    The two halves of the datapath are exposed directly so tests and
+    {!Osiris_check} scenarios can drive enqueue/dequeue interleavings
+    without links or processes. The port processes spawned by {!start} use
+    exactly these functions. *)
+
+val ingress_cell : t -> port:int -> Osiris_atm.Cell.t -> unit
+(** Run the routing + output-enqueue step for one cell arriving on
+    [port]: counts it in, looks up the route, rewrites the VCI and either
+    queues it on the output port or counts the drop. *)
+
+val drain_one : t -> port:int -> Osiris_atm.Cell.t option
+(** Dequeue the next cell from [port]'s output queue, counting it as
+    forwarded; [None] when the queue is empty. Does {e not} apply
+    [forward_latency] or touch the egress link. *)
+
+(** {2 Accounting} *)
+
+type stats = {
+  mutable cells_in : int;  (** cells accepted from ingress links *)
+  mutable forwarded : int;  (** cells committed to an egress link *)
+  mutable dropped_overflow : int;  (** lost to a full output queue *)
+  mutable dropped_no_route : int;  (** no routing-table entry *)
+  mutable max_occupancy : int;
+      (** high-water mark of the total queued-cell count *)
+}
+
+val stats : t -> stats
+
+val occupancy : t -> int
+(** Total cells currently queued across all output ports. *)
+
+val port_occupancy : t -> port:int -> int
+
+val conservation : t -> (string * int) list
+(** The invariant's parts, for [Osiris_core.Invariants.balance]-style
+    checks: [("forwarded", _); ("queued", _); ("dropped_overflow", _);
+    ("dropped_no_route", _)] — their sum must equal [(stats t).cells_in]
+    at every instant. *)

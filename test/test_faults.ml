@@ -432,6 +432,122 @@ let test_per_channel_irq_loss () =
   Invariants.assert_clean ~quiescent:true ~board:b.Host.board
     ~driver:b.Host.driver ()
 
+(* Per-ADC free-queue starvation (ROADMAP item): a plan window gating one
+   channel's free queue drops that ADC's PDUs for want of buffers while
+   the kernel channel keeps flowing; replenishment returns when the
+   window closes and the ADC catches the next batch. *)
+let test_per_channel_free_starvation () =
+  let eng, a, b, net = fault_pair () in
+  let app_a = Adc.open_ a ~name:"app-a" () in
+  let app_b = Adc.open_ b ~name:"app-b" () in
+  let adc_vci = 40 in
+  Board.bind_vci a.Host.board ~vci:adc_vci (Adc.channel app_a);
+  Board.bind_vci b.Host.board ~vci:adc_vci (Adc.channel app_b);
+  let adc_ch = Board.channel_id (Adc.channel app_b) in
+  let template = Bytes.init 4096 (fun i -> Char.chr ((i * 7) land 0xff)) in
+  let kern_good = ref 0 and adc_good = ref 0 in
+  raw_sink b template kern_good;
+  Demux.bind (Adc.demux app_b) ~vci:adc_vci ~name:"app-sink"
+    (fun ~vci:_ msg ->
+      incr adc_good;
+      Msg.dispose msg);
+  let plan =
+    Plan.of_string (Printf.sprintf "seed=5;freestarve#%d@0-8ms" adc_ch)
+  in
+  ignore
+    (Injector.inject eng ~plan ~link:net.Network.a_to_b ~board:b.Host.board ());
+  Alcotest.(check bool) "gate armed" true
+    (Board.free_gated b.Host.board ~ch:adc_ch);
+  Alcotest.(check bool) "kernel channel not gated" false
+    (Board.free_gated b.Host.board ~ch:0);
+  (* First batch lands entirely inside the starvation window. *)
+  Process.spawn eng ~name:"tx1" (fun () ->
+      for _ = 1 to 15 do
+        send_template a template;
+        Adc.send app_a ~vci:adc_vci (Adc.alloc_msg app_a ~len:2048 ());
+        Process.sleep eng (Time.us 200)
+      done);
+  ignore
+    (Engine.schedule_at eng ~time:(Time.ms 7) (fun () ->
+         Alcotest.(check bool)
+           (Printf.sprintf "kernel flowed while the ADC starved (%d)"
+              !kern_good)
+           true (!kern_good > 0);
+         Alcotest.(check int) "starved ADC delivered nothing" 0 !adc_good));
+  (* Second batch goes out after replenishment returns. *)
+  Process.spawn eng ~name:"tx2" (fun () ->
+      Process.sleep eng (Time.ms 10);
+      for _ = 1 to 10 do
+        Adc.send app_a ~vci:adc_vci (Adc.alloc_msg app_a ~len:2048 ());
+        Process.sleep eng (Time.us 200)
+      done);
+  Engine.run ~until:(Time.ms 30) eng;
+  let bstats = Board.stats b.Host.board in
+  Alcotest.(check bool)
+    (Printf.sprintf "starved PDUs dropped for want of buffers (%d)"
+       bstats.Board.pdus_dropped_no_buffer)
+    true
+    (bstats.Board.pdus_dropped_no_buffer >= 15);
+  Alcotest.(check int) "kernel channel unaffected" 15 !kern_good;
+  Alcotest.(check int) "ADC recovered after the window" 10 !adc_good;
+  Alcotest.(check bool) "gate released" false
+    (Board.free_gated b.Host.board ~ch:adc_ch);
+  Invariants.assert_clean ~quiescent:true ~board:b.Host.board
+    ~driver:b.Host.driver ()
+
+(* Carrier flap storm (ROADMAP item): channel 2 toggles every 40 µs for
+   2 ms — far faster than one 8 KB PDU's ~130 µs wire time — so every
+   overlapping PDU is sacrificed to a re-stripe. Convergence contract:
+   full width returns after the storm, delivery resumes, and
+   restripe_aborts stays bounded by the number of carrier transitions
+   (nothing compounds). *)
+let test_carrier_flap_storm () =
+  let eng, a, b, net =
+    fault_pair
+      ~board:{ Board.default_config with Board.reassembly_timeout = Time.ms 2 }
+      ()
+  in
+  let template = Bytes.init 8192 (fun i -> Char.chr ((i * 9) land 0xff)) in
+  let good = ref 0 and good_after_storm = ref 0 in
+  Demux.bind b.Host.demux ~vci:raw_vci ~name:"sink" (fun ~vci:_ msg ->
+      if not (Bytes.equal (Msg.read_all msg) template) then
+        Alcotest.fail "corrupted PDU delivered";
+      incr good;
+      if Engine.now eng > Time.ms 5 then incr good_after_storm;
+      Msg.dispose msg);
+  (* 2 ms / 40 µs = 50 toggles; both boards re-stripe on each one. *)
+  let plan = Plan.of_string "seed=6;flap#2@2ms-4ms=40us" in
+  ignore
+    (Injector.inject eng ~plan ~link:net.Network.a_to_b ~board:b.Host.board ());
+  Process.spawn eng ~name:"tx" (fun () ->
+      for _ = 1 to 50 do
+        send_template a template;
+        Process.sleep eng (Time.us 300)
+      done);
+  Engine.run ~until:(Time.ms 40) eng;
+  Alcotest.(check int) "full stripe width restored" 4
+    (Atm.nlive net.Network.a_to_b);
+  let aborts =
+    (Board.stats a.Host.board).Board.restripe_aborts
+    + (Board.stats b.Host.board).Board.restripe_aborts
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "storm forced re-stripe aborts (%d)" aborts)
+    true (aborts > 0);
+  (* 51 transitions worst-case, one in-flight PDU per end per
+     transition: anything past that would mean aborts compounding. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "restripe aborts bounded by transitions (%d <= 102)"
+       aborts)
+    true (aborts <= 102);
+  Alcotest.(check bool)
+    (Printf.sprintf "delivery resumed after the storm (%d)"
+       !good_after_storm)
+    true
+    (!good_after_storm > 10);
+  Invariants.assert_clean ~quiescent:true ~board:b.Host.board
+    ~driver:b.Host.driver ()
+
 (* Plans are data: textual round-trip and window arithmetic. *)
 let test_plan_roundtrip () =
   let p = Plan.random ~seed:42 ~horizon:(Time.ms 20) () in
@@ -458,7 +574,30 @@ let test_plan_roundtrip () =
   Alcotest.(check (list (pair int (float 1e-9)))) "channel 3 still active"
     [ (3, 0.75) ] kr'.Plan.k_irq_loss_ch;
   Alcotest.(check (list (pair int (float 1e-9)))) "all quiet at 7ms" []
-    (Plan.knobs_at r (Time.ms 7)).Plan.k_irq_loss_ch
+    (Plan.knobs_at r (Time.ms 7)).Plan.k_irq_loss_ch;
+  (* Free-queue starvation and flap storms: round-trip plus the flap
+     parity arithmetic (down on even half-periods, up on odd, restored
+     once the window closes). *)
+  let f = Plan.of_string "freestarve#1@2ms-4ms;flap#2@2ms-4ms=40us" in
+  Alcotest.(check string) "freestarve/flap round-trip" (Plan.to_string f)
+    (Plan.to_string (Plan.of_string (Plan.to_string f)));
+  Alcotest.(check (list int)) "channel 1 starved at 3ms" [ 1 ]
+    (Plan.knobs_at f (Time.ms 3)).Plan.k_free_starve;
+  Alcotest.(check (list int)) "starvation over at 5ms" []
+    (Plan.knobs_at f (Time.ms 5)).Plan.k_free_starve;
+  Alcotest.(check (list int)) "flap down on an even half-period" [ 2 ]
+    (Plan.knobs_at f (Time.ms 2 + Time.us 10)).Plan.k_down;
+  Alcotest.(check (list int)) "flap up on an odd half-period" []
+    (Plan.knobs_at f (Time.ms 2 + Time.us 50)).Plan.k_down;
+  Alcotest.(check (list int)) "flap down again next period" [ 2 ]
+    (Plan.knobs_at f (Time.ms 2 + Time.us 90)).Plan.k_down;
+  Alcotest.(check (list int)) "carrier restored after the storm" []
+    (Plan.knobs_at f (Time.ms 5)).Plan.k_down;
+  (* Boundary density: one per toggle so the injector tracks the storm —
+     50 toggles plus the window close (the starvation window's edges
+     coincide with the first toggle and the close). *)
+  Alcotest.(check int) "flap storm boundary count" 51
+    (List.length (Plan.boundaries f))
 
 (* The headline artifact: N seeds x randomized multi-dimension fault
    plans (drop + corruption + header mangles + duplication + a carrier
@@ -503,6 +642,10 @@ let suite =
       test_link_down_degrades_gracefully;
     Alcotest.test_case "per-ADC interrupt loss is channel-scoped" `Quick
       test_per_channel_irq_loss;
+    Alcotest.test_case "per-ADC free-queue starvation is channel-scoped"
+      `Quick test_per_channel_free_starvation;
+    Alcotest.test_case "carrier flap storm converges" `Quick
+      test_carrier_flap_storm;
     Alcotest.test_case "fault plans round-trip" `Quick test_plan_roundtrip;
     Alcotest.test_case "multi-seed fault soak" `Slow test_multi_seed_soak;
     Alcotest.test_case "jittery striping end-to-end" `Quick

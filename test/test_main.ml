@@ -20,6 +20,7 @@ let () =
       ("core", Test_core.suite);
       ("adc", Test_adc.suite);
       ("faults", Test_faults.suite);
+      ("switch", Test_switch.suite);
       ("check", Test_check.suite);
       ("analysis", Test_analysis.suite);
       ("experiments", Test_experiments.suite);
