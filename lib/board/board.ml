@@ -153,6 +153,7 @@ type channel = {
   mutable txst : tx_pdu option;
   mutable peek_ahead : int; (* descriptors consumed but not yet advanced *)
   mutable reassert_armed : bool; (* rx interrupt watchdog scheduled *)
+  mutable reassert_h : Engine.handle option; (* watchdog timer, re-armed in place *)
   mutable free_gated : bool; (* fault injection: free queue yields nothing *)
 }
 
@@ -250,6 +251,7 @@ let make_channel eng bus cfg id =
     txst = None;
     peek_ahead = 0;
     reassert_armed = false;
+    reassert_h = None;
     free_gated = false;
   }
 
@@ -331,14 +333,22 @@ let set_irq_filter t f = t.irq_filter <- f
 let rec arm_reassert t ch =
   if t.cfg.irq_reassert > 0 && not ch.reassert_armed then begin
     ch.reassert_armed <- true;
-    ignore
-      (Engine.schedule t.eng ~delay:t.cfg.irq_reassert (fun () ->
-           ch.reassert_armed <- false;
-           if Desc_queue.count ch.rx_q > 0 then begin
-             Metrics.incr t.m.m_irq_reasserts;
-             raise_interrupt t (Rx_nonempty ch.id);
-             arm_reassert t ch
-           end))
+    match ch.reassert_h with
+    | Some h ->
+        (* The previous timer has fired ([reassert_armed] was false), so
+           the handle and its closure can be re-armed in place instead
+           of allocating fresh ones every watchdog period. *)
+        Engine.reschedule t.eng ~delay:t.cfg.irq_reassert h
+    | None ->
+        ch.reassert_h <-
+          Some
+            (Engine.schedule t.eng ~delay:t.cfg.irq_reassert (fun () ->
+                 ch.reassert_armed <- false;
+                 if Desc_queue.count ch.rx_q > 0 then begin
+                   Metrics.incr t.m.m_irq_reasserts;
+                   raise_interrupt t (Rx_nonempty ch.id);
+                   arm_reassert t ch
+                 end))
   end
 
 let kernel_channel t = t.channels.(0)

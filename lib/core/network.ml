@@ -80,11 +80,11 @@ let make_endpoint eng machine config link rng sw sw_idx ~port ~index =
   Host.start host;
   { host; to_fabric; from_fabric; sw = sw_idx; port }
 
-let star ?(n = 3) ?(machine = Machine.ds5000_200)
+let star ?backend ?(n = 3) ?(machine = Machine.ds5000_200)
     ?(config = Host.default_config) ?(link = Atm_link.default_config)
     ?(switch = Switch.default_config) ?(seed = 7) () =
   if n < 2 then invalid_arg "Network.star: need at least 2 hosts";
-  let eng = Osiris_sim.Engine.create () in
+  let eng = Osiris_sim.Engine.create ?backend () in
   let sw = Switch.create eng ~name:"sw0" { switch with Switch.nports = n } in
   let rng = Rng.create ~seed in
   let endpoints =

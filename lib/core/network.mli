@@ -64,6 +64,7 @@ type vc = {
 }
 
 val star :
+  ?backend:Osiris_sim.Engine.backend ->
   ?n:int ->
   ?machine:Machine.t ->
   ?config:Host.config ->
@@ -75,7 +76,9 @@ val star :
 (** [n] hosts (default 3, minimum 2) on the [n] ports of one switch, all
     started. Host [i] gets IP [10.0.0.(i+1)] and host seed
     [config.seed + i]; [seed] (default 7) seeds the link RNGs. The
-    [switch] config's [nports] is overridden to [n]. *)
+    [switch] config's [nports] is overridden to [n]. [backend] selects
+    the engine's event queue (for the scheduler speed benchmark, which
+    races both backends over this topology). *)
 
 val chain :
   ?n:int ->

@@ -1,0 +1,48 @@
+(** Engine macro-benchmark: events per wall-clock second over the full
+    star-topology datapath, timer wheel vs binary heap.
+
+    Runs the identical seeded workload on both scheduler backends for a
+    fixed budget of live events, measures wall-clock dispatch rate,
+    simulated cells forwarded per second and simulated payload bytes
+    per second, and checks that (a) the two backends agree on every
+    traffic counter and the final clock and (b) neither scheduler
+    retains memory proportional to the number of dispatched events. *)
+
+type outcome = {
+  backend : Osiris_sim.Engine.backend;
+  events : int;  (** live events dispatched per timed segment *)
+  wall_s : float;  (** wall time across all timed segments *)
+  cpu_s : float;
+      (** user CPU time of the best (fastest) segment; the rates below
+          use this *)
+  events_per_s : float;
+  cells_forwarded : int;
+  cells_per_s : float;
+  bytes_per_s : float;  (** forwarded cell payload bytes per wall second *)
+  delivered_pdus : int;
+  delivered_bytes : int;
+  final_clock : Osiris_sim.Time.t;
+  cells_in : int;
+  dropped : int;
+  live_words_growth : int;
+      (** major-heap words retained across all timed segments of both
+          backends (they share the process heap, so retention is
+          measured once and reported in both outcomes) *)
+}
+
+val run :
+  ?events:int ->
+  ?senders:int ->
+  ?msg_size:int ->
+  ?seed:int ->
+  unit ->
+  outcome * outcome * string list
+(** One measurement at a given event budget (default 1M): the timer
+    wheel outcome, the binary heap outcome, and the violations —
+    cross-backend divergence or a live-words leak. *)
+
+val figure : unit -> Report.figure
+(** The BENCH.json figure: both backends' events/s over the event-budget
+    sweep, the wheel's speedup, forwarded-cell and payload-byte rates,
+    and the wheel's live-words growth. Raises [Failure] on any
+    violation. *)

@@ -114,12 +114,21 @@ let all =
          capacity, losses fully accounted";
       kind = Figure (fun () -> Incast.figure_goodput_vs_queue ());
     };
+    {
+      id = "engine_speed";
+      description =
+        "simulator: engine events/sec on a 1M-event star workload, timer \
+         wheel vs binary heap, identical dispatch enforced";
+      kind = Figure (fun () -> Engine_speed.figure ());
+    };
   ]
 
 let quick =
   List.filter
     (fun e ->
-      not (List.mem e.id [ "figure2"; "figure3"; "figure4"; "incast" ]))
+      not
+        (List.mem e.id
+           [ "figure2"; "figure3"; "figure4"; "incast"; "engine_speed" ]))
     all
 
 let find id = List.find_opt (fun e -> e.id = id) all

@@ -1,37 +1,82 @@
-type handle = { mutable cancelled : bool; fn : unit -> unit }
+type handle = {
+  mutable cancelled : bool;
+  mutable queued : bool; (* currently sitting in the event queue *)
+  fn : unit -> unit;
+}
 
 type chooser = now:Time.t -> count:int -> int
+
+type backend = Timer_wheel | Binary_heap
+
+(* Both queues implement the same (key, seq) contract; the wheel is the
+   default, the heap is kept for differential testing (and as the
+   fallback should a workload ever need to schedule below the wheel's
+   pop floor — the engine itself never does). *)
+type events = E_wheel of handle Wheel.t | E_heap of handle Heap.t
 
 type t = {
   mutable clock : Time.t;
   mutable seq : int;
   mutable stopping : bool;
+  mutable dispatched : int;
   mutable chooser : chooser option;
-  events : handle Heap.t;
+  events : events;
 }
 
 exception Stopped
 
-let create () =
-  {
-    clock = Time.zero;
-    seq = 0;
-    stopping = false;
-    chooser = None;
-    events = Heap.create ();
-  }
+let dummy_handle = { cancelled = true; queued = false; fn = ignore }
+
+let create ?(backend = Timer_wheel) () =
+  let events =
+    match backend with
+    | Timer_wheel -> E_wheel (Wheel.create ~dummy:dummy_handle)
+    | Binary_heap -> E_heap (Heap.create ())
+  in
+  { clock = Time.zero; seq = 0; stopping = false; dispatched = 0;
+    chooser = None; events }
 
 let set_chooser t c = t.chooser <- c
 
 let now t = t.clock
 
-let schedule_at t ~time fn =
+let events_dispatched t = t.dispatched
+
+let ev_add t ~key ~seq h =
+  h.queued <- true;
+  match t.events with
+  | E_wheel q -> Wheel.add q ~key ~seq h
+  | E_heap q -> Heap.add q ~key ~seq h
+
+let ev_pop t =
+  let r =
+    match t.events with
+    | E_wheel q -> Wheel.pop_min q
+    | E_heap q -> Heap.pop_min q
+  in
+  (match r with Some (_, _, h) -> h.queued <- false | None -> ());
+  r
+
+let ev_peek t =
+  match t.events with
+  | E_wheel q -> Wheel.peek_key q
+  | E_heap q -> Heap.peek_key q
+
+let pending t =
+  match t.events with
+  | E_wheel q -> Wheel.length q
+  | E_heap q -> Heap.length q
+
+let check_time t time =
   if time < t.clock then
     invalid_arg
       (Printf.sprintf "Engine.schedule_at: time %d is in the past (now %d)"
-         time t.clock);
-  let h = { cancelled = false; fn } in
-  Heap.add t.events ~key:time ~seq:t.seq h;
+         time t.clock)
+
+let schedule_at t ~time fn =
+  check_time t time;
+  let h = { cancelled = false; queued = false; fn } in
+  ev_add t ~key:time ~seq:t.seq h;
   t.seq <- t.seq + 1;
   h
 
@@ -39,18 +84,28 @@ let schedule t ~delay fn =
   if delay < 0 then invalid_arg "Engine.schedule: negative delay";
   schedule_at t ~time:(t.clock + delay) fn
 
-let cancel h = h.cancelled <- true
+let reschedule_at t ~time h =
+  if h.queued then
+    invalid_arg "Engine.reschedule_at: handle is still queued";
+  check_time t time;
+  h.cancelled <- false;
+  ev_add t ~key:time ~seq:t.seq h;
+  t.seq <- t.seq + 1
 
-let pending t = Heap.length t.events
+let reschedule t ~delay h =
+  if delay < 0 then invalid_arg "Engine.reschedule: negative delay";
+  reschedule_at t ~time:(t.clock + delay) h
+
+let cancel h = h.cancelled <- true
 
 (* Pop every live (non-cancelled) event scheduled at [key], in seq order.
    Cancelled entries are dropped on the way — they must not count as
    schedulable alternatives. *)
 let pop_instant t key =
   let rec go acc =
-    match Heap.peek_key t.events with
+    match ev_peek t with
     | Some k when k = key -> (
-        match Heap.pop_min t.events with
+        match ev_pop t with
         | Some (_, seq, h) ->
             go (if h.cancelled then acc else (seq, h) :: acc)
         | None -> acc)
@@ -58,25 +113,33 @@ let pop_instant t key =
   in
   List.rev (go [])
 
-let step t =
+(* One scheduling decision. [`Skipped] is a dispatch that consumed only
+   cancelled handles — it advances the clock (matching the historical
+   behaviour) but must not count against a [run ~max_events] budget. *)
+let step_live t =
   match t.chooser with
   | None -> (
-      match Heap.pop_min t.events with
-      | None -> false
+      match ev_pop t with
+      | None -> `Empty
       | Some (time, _seq, h) ->
           t.clock <- time;
-          if not h.cancelled then h.fn ();
-          true)
+          if h.cancelled then `Skipped
+          else begin
+            t.dispatched <- t.dispatched + 1;
+            h.fn ();
+            `Dispatched
+          end)
   | Some choose -> (
-      match Heap.peek_key t.events with
-      | None -> false
+      match ev_peek t with
+      | None -> `Empty
       | Some key -> (
           match pop_instant t key with
-          | [] -> true (* only cancelled events at this instant; drained *)
+          | [] -> `Skipped (* only cancelled events at this instant *)
           | [ (_, h) ] ->
               t.clock <- key;
+              t.dispatched <- t.dispatched + 1;
               h.fn ();
-              true
+              `Dispatched
           | candidates ->
               let n = List.length candidates in
               let i = choose ~now:key ~count:n in
@@ -86,12 +149,14 @@ let step t =
                      "Engine: chooser picked %d of %d candidates" i n);
               let _, h = List.nth candidates i in
               List.iteri
-                (fun j (seq, h') ->
-                  if j <> i then Heap.add t.events ~key ~seq h')
+                (fun j (seq, h') -> if j <> i then ev_add t ~key ~seq h')
                 candidates;
               t.clock <- key;
+              t.dispatched <- t.dispatched + 1;
               h.fn ();
-              true))
+              `Dispatched))
+
+let step t = step_live t <> `Empty
 
 let stop t = t.stopping <- true
 
@@ -102,17 +167,24 @@ let run ?until ?max_events t =
     (not t.stopping)
     && (match max_events with None -> true | Some m -> !executed < m)
     &&
-    match Heap.peek_key t.events with
-    | None -> false
-    | Some k -> ( match until with None -> true | Some u -> k <= u)
+    match until with
+    | None -> pending t > 0
+    | Some u -> ( match ev_peek t with None -> false | Some k -> k <= u)
   in
   while continue () do
-    ignore (step t);
-    incr executed
+    match step_live t with
+    | `Dispatched -> incr executed
+    | `Skipped | `Empty -> ()
   done;
-  (* When stopping early because of [until], advance the clock to the
-     horizon so that repeated bounded runs observe monotonic time. *)
+  (* When stopping because of [until], advance the clock to the horizon
+     so repeated bounded runs observe monotonic time — including when
+     the queue drained mid-run — but never past a still-pending event
+     inside the horizon (the [max_events] budget can end the run with
+     such events unfired, and firing them later must not move time
+     backwards). *)
   match until with
-  | Some u when Heap.peek_key t.events <> None && not t.stopping ->
-      if t.clock < u then t.clock <- u
+  | Some u when (not t.stopping) && t.clock < u -> (
+      match ev_peek t with
+      | Some k when k <= u -> ()
+      | _ -> t.clock <- u)
   | _ -> ()

@@ -11,15 +11,32 @@
     runnable at the same instant, turning each such tie into an explicit,
     recordable choice point (the hook {!Osiris_check} schedule exploration
     is built on). Without a chooser the engine keeps its historical FIFO
-    tie-break, bit-for-bit. *)
+    tie-break, bit-for-bit.
+
+    The queue behind the engine is pluggable too ({!backend}): the
+    default hierarchical timer wheel and the original binary heap
+    implement the identical [(time, seq)] dispatch order — the test
+    suite proves it event for event — so the choice affects wall-clock
+    speed only, never simulation outcomes. *)
 
 type t
 
 type handle
-(** Identifies a scheduled event so it can be cancelled. *)
+(** Identifies a scheduled event so it can be cancelled or, once it has
+    fired, rescheduled. *)
 
-val create : unit -> t
-(** A fresh engine with the clock at {!Time.zero}. *)
+type backend =
+  | Timer_wheel
+      (** Hierarchical timer wheel (default): O(1) for imminent events,
+          no per-event allocation in steady state. *)
+  | Binary_heap
+      (** The original array heap: O(log n) per operation. Kept for
+          differential testing against the wheel. *)
+
+val create : ?backend:backend -> unit -> t
+(** A fresh engine with the clock at {!Time.zero}. [backend] (default
+    [Timer_wheel]) selects the event-queue implementation; dispatch
+    order is identical across backends. *)
 
 val now : t -> Time.t
 (** Current simulated time. *)
@@ -32,6 +49,17 @@ val schedule_at : t -> time:Time.t -> (unit -> unit) -> handle
 (** [schedule_at t ~time f] arranges for [f ()] to run at absolute time
     [time], which must not be in the past. *)
 
+val reschedule : t -> delay:Time.t -> handle -> unit
+(** [reschedule t ~delay h] re-arms a handle whose event has already
+    fired (or been cancelled), reusing the handle and its callback
+    instead of allocating fresh ones — the cheap way to run a periodic
+    timer. Consumes a sequence number exactly as {!schedule} does, so
+    dispatch order is indistinguishable from a fresh [schedule] of the
+    same closure. Raises [Invalid_argument] if [h] is still queued. *)
+
+val reschedule_at : t -> time:Time.t -> handle -> unit
+(** {!reschedule} at an absolute time. *)
+
 val cancel : handle -> unit
 (** Cancel a pending event. Cancelling an event that has already fired is a
     no-op. *)
@@ -40,14 +68,22 @@ val pending : t -> int
 (** Number of events still queued (including cancelled ones not yet
     drained). *)
 
+val events_dispatched : t -> int
+(** Total live (non-cancelled) callbacks executed over the engine's
+    lifetime — the event count the speed benchmarks report. *)
+
 val step : t -> bool
 (** Execute the single next event. Returns [false] when the queue is
     empty. *)
 
 val run : ?until:Time.t -> ?max_events:int -> t -> unit
-(** Run events in order until the queue drains, the clock passes [until], or
-    [max_events] callbacks have executed. Events scheduled exactly at
-    [until] still run. *)
+(** Run events in order until the queue drains, the clock passes [until],
+    or [max_events] {e live} callbacks have executed — popping a
+    cancelled handle does not consume budget. Events scheduled exactly
+    at [until] still run. On return from a bounded run the clock is at
+    [until] unless events at or before [until] remain unfired (a
+    [max_events] budget can leave some), in which case it stays at the
+    last dispatch so time never runs backwards. *)
 
 exception Stopped
 

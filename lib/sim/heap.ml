@@ -1,6 +1,11 @@
-type 'a entry = { key : int; seq : int; value : 'a }
+(* Slots at indices >= len are dead and must hold [Empty]: an array that
+   kept popped entries alive (as the first cut of this heap did, both in
+   the freshly-[Array.make]d tail and in the slot [pop_min] vacates)
+   pins their values — for the engine, event closures and everything
+   they capture — for the heap's whole lifetime. *)
+type 'a slot = Empty | Entry of { key : int; seq : int; value : 'a }
 
-type 'a t = { mutable arr : 'a entry array; mutable len : int }
+type 'a t = { mutable arr : 'a slot array; mutable len : int }
 
 let create () = { arr = [||]; len = 0 }
 
@@ -8,22 +13,21 @@ let length h = h.len
 
 let is_empty h = h.len = 0
 
-let lt a b = a.key < b.key || (a.key = b.key && a.seq < b.seq)
+let lt a b =
+  match (a, b) with
+  | Entry a, Entry b -> a.key < b.key || (a.key = b.key && a.seq < b.seq)
+  | Empty, _ | _, Empty -> assert false (* live slots are never Empty *)
 
 let grow h =
   let cap = Array.length h.arr in
   let ncap = if cap = 0 then 64 else cap * 2 in
-  (* The dummy cell is never read: slots >= len are dead. *)
-  let dummy = h.arr.(0) in
-  let narr = Array.make ncap dummy in
+  let narr = Array.make ncap Empty in
   Array.blit h.arr 0 narr 0 h.len;
   h.arr <- narr
 
 let add h ~key ~seq value =
-  let e = { key; seq; value } in
-  if h.len = Array.length h.arr then
-    if h.len = 0 then h.arr <- Array.make 64 e else grow h;
-  h.arr.(h.len) <- e;
+  if h.len = Array.length h.arr then grow h;
+  h.arr.(h.len) <- Entry { key; seq; value };
   h.len <- h.len + 1;
   (* Sift up. *)
   let rec up i =
@@ -41,26 +45,31 @@ let add h ~key ~seq value =
 
 let pop_min h =
   if h.len = 0 then None
-  else begin
-    let min = h.arr.(0) in
-    h.len <- h.len - 1;
-    if h.len > 0 then begin
-      h.arr.(0) <- h.arr.(h.len);
-      (* Sift down. *)
-      let rec down i =
-        let l = (2 * i) + 1 and r = (2 * i) + 2 in
-        let m = if l < h.len && lt h.arr.(l) h.arr.(i) then l else i in
-        let m = if r < h.len && lt h.arr.(r) h.arr.(m) then r else m in
-        if m <> i then begin
-          let tmp = h.arr.(i) in
-          h.arr.(i) <- h.arr.(m);
-          h.arr.(m) <- tmp;
-          down m
+  else
+    match h.arr.(0) with
+    | Empty -> assert false
+    | Entry min ->
+        h.len <- h.len - 1;
+        if h.len > 0 then begin
+          h.arr.(0) <- h.arr.(h.len);
+          h.arr.(h.len) <- Empty;
+          (* Sift down. *)
+          let rec down i =
+            let l = (2 * i) + 1 and r = (2 * i) + 2 in
+            let m = if l < h.len && lt h.arr.(l) h.arr.(i) then l else i in
+            let m = if r < h.len && lt h.arr.(r) h.arr.(m) then r else m in
+            if m <> i then begin
+              let tmp = h.arr.(i) in
+              h.arr.(i) <- h.arr.(m);
+              h.arr.(m) <- tmp;
+              down m
+            end
+          in
+          down 0
         end
-      in
-      down 0
-    end;
-    Some (min.key, min.seq, min.value)
-  end
+        else h.arr.(0) <- Empty;
+        Some (min.key, min.seq, min.value)
 
-let peek_key h = if h.len = 0 then None else Some h.arr.(0).key
+let peek_key h =
+  if h.len = 0 then None
+  else match h.arr.(0) with Empty -> assert false | Entry e -> Some e.key

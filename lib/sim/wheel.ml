@@ -1,0 +1,218 @@
+(* Hierarchical timer wheel: the engine's fast event queue.
+
+   13 levels of 32 slots each (5 bits per level) cover the whole
+   non-negative OCaml int key space. A node with key [k] lives at the
+   highest level where [k]'s base-32 digit differs from the wheel's
+   floor [cur] (the last key handed out by [pop_min]); level-0 slots
+   therefore hold exactly one key each, and popping from them is O(1).
+   When the minimum sits at a higher level, [pop_min] first cascades
+   that one slot down ("settle"), advancing [cur] to the slot's base
+   time — always <= the pending minimum, so the add floor never
+   overtakes a legal key.
+
+   Ordering contract (shared with {!Heap}): pops come out in
+   nondecreasing [(key, seq)] order provided adds at any given key are
+   made in increasing [seq] order — which the engine guarantees, since
+   [seq] is its monotonically increasing schedule counter. Slot lists
+   are FIFO, and the cascade preserves list order, so same-key entries
+   keep their insertion (= seq) order without ever comparing seqs.
+
+   Allocation discipline: nodes are recycled through a freelist and
+   their values overwritten with [dummy] on pop, so a drained wheel
+   retains no user data — the property the engine's live-words
+   benchmark and weak-pointer tests check. *)
+
+let bits = 5
+let slots = 1 lsl bits
+let slot_mask = slots - 1
+
+(* ceil(63 / 5): enough digits for any non-negative int key. *)
+let levels = 13
+
+type 'a node = {
+  mutable key : int;
+  mutable seq : int;
+  mutable value : 'a;
+  mutable next : 'a node; (* slot or freelist link; [nil] terminates *)
+}
+
+type 'a t = {
+  dummy : 'a;
+  nil : 'a node;
+  heads : 'a node array; (* [levels * slots] flattened: level*32 + slot *)
+  tails : 'a node array;
+  occ : int array; (* per-level bitmask of nonempty slots *)
+  mutable cur : int; (* floor: adds below this key are rejected *)
+  mutable len : int;
+  mutable free : 'a node; (* recycled nodes, values cleared to [dummy] *)
+  mutable min_valid : bool; (* cache for [peek_key] *)
+  mutable min_key : int;
+}
+
+let create ~dummy =
+  let rec nil = { key = max_int; seq = max_int; value = dummy; next = nil } in
+  {
+    dummy;
+    nil;
+    heads = Array.make (levels * slots) nil;
+    tails = Array.make (levels * slots) nil;
+    occ = Array.make levels 0;
+    cur = 0;
+    len = 0;
+    free = nil;
+    min_valid = false;
+    min_key = 0;
+  }
+
+let length t = t.len
+let is_empty t = t.len = 0
+
+(* Index of the lowest set bit of a nonzero 32-bit mask (De Bruijn). *)
+let debruijn = 0x077CB531
+
+let lsb_table =
+  let tb = Array.make 32 0 in
+  for i = 0 to 31 do
+    tb.(((debruijn lsl i) lsr 27) land 31) <- i
+  done;
+  tb
+
+let lsb_index m = lsb_table.((((m land -m) * debruijn) lsr 27) land 31)
+
+(* Level of [key] relative to the floor: highest differing base-32
+   digit; 0 when equal. *)
+let level_for t key =
+  let x = ref ((key lxor t.cur) lsr bits) and l = ref 0 in
+  while !x <> 0 do
+    incr l;
+    x := !x lsr bits
+  done;
+  !l
+
+let append t lvl slot node =
+  let idx = (lvl lsl bits) lor slot in
+  node.next <- t.nil;
+  if t.heads.(idx) == t.nil then begin
+    t.heads.(idx) <- node;
+    t.occ.(lvl) <- t.occ.(lvl) lor (1 lsl slot)
+  end
+  else t.tails.(idx).next <- node;
+  t.tails.(idx) <- node
+
+let place t node =
+  let lvl = level_for t node.key in
+  append t lvl ((node.key lsr (bits * lvl)) land slot_mask) node
+
+let add t ~key ~seq value =
+  if key < t.cur then
+    invalid_arg
+      (Printf.sprintf "Wheel.add: key %d below the pop floor %d" key t.cur);
+  let node =
+    if t.free != t.nil then begin
+      let n = t.free in
+      t.free <- n.next;
+      n.key <- key;
+      n.seq <- seq;
+      n.value <- value;
+      n
+    end
+    else { key; seq; value; next = t.nil }
+  in
+  place t node;
+  t.len <- t.len + 1;
+  if t.len = 1 || (t.min_valid && key < t.min_key) then begin
+    t.min_valid <- true;
+    t.min_key <- key
+  end
+
+(* Lowest nonempty level; the global minimum always lives there (keys at
+   a lower level agree with [cur] on strictly more high digits, so they
+   compare smaller). Caller guarantees [len > 0]. *)
+let min_level t =
+  let l = ref 0 in
+  while t.occ.(!l) = 0 do
+    incr l
+  done;
+  !l
+
+let peek_key t =
+  if t.len = 0 then None
+  else if t.min_valid then Some t.min_key
+  else begin
+    let lvl = min_level t in
+    let slot = lsb_index t.occ.(lvl) in
+    let k =
+      if lvl = 0 then t.heads.(slot).key (* level-0 slots hold one key *)
+      else begin
+        let best = ref max_int in
+        let n = ref t.heads.((lvl lsl bits) lor slot) in
+        while !n != t.nil do
+          if !n.key < !best then best := !n.key;
+          n := !n.next
+        done;
+        !best
+      end
+    in
+    t.min_valid <- true;
+    t.min_key <- k;
+    Some k
+  end
+
+(* Cascade the lowest nonempty slot down until the minimum reaches
+   level 0; each pass strictly lowers the minimum's level. Returns the
+   level-0 slot holding the minimum. *)
+let rec settle t =
+  let lvl = min_level t in
+  let slot = lsb_index t.occ.(lvl) in
+  if lvl = 0 then slot
+  else begin
+    let idx = (lvl lsl bits) lor slot in
+    (* Advance the floor to the slot's base time: every key here is
+       >= base, and base >= cur, so redistribution lands strictly
+       below [lvl] and the add floor never passes a pending key. *)
+    let shift = bits * lvl in
+    let hi = shift + bits in
+    let base =
+      (if hi >= Sys.int_size then 0 else (t.cur lsr hi) lsl hi)
+      lor (slot lsl shift)
+    in
+    if base > t.cur then t.cur <- base;
+    let n = ref t.heads.(idx) in
+    t.heads.(idx) <- t.nil;
+    t.tails.(idx) <- t.nil;
+    t.occ.(lvl) <- t.occ.(lvl) land lnot (1 lsl slot);
+    while !n != t.nil do
+      let next = !n.next in
+      place t !n;
+      n := next
+    done;
+    settle t
+  end
+
+let pop_min t =
+  if t.len = 0 then None
+  else begin
+    let slot = settle t in
+    let node = t.heads.(slot) in
+    t.heads.(slot) <- node.next;
+    if node.next == t.nil then begin
+      t.tails.(slot) <- t.nil;
+      t.occ.(0) <- t.occ.(0) land lnot (1 lsl slot);
+      t.min_valid <- false
+    end
+    else begin
+      (* A level-0 slot holds exactly one key, so whatever remains in
+         this slot is still the global minimum. *)
+      t.min_valid <- true;
+      t.min_key <- node.key
+    end;
+    t.len <- t.len - 1;
+    let key = node.key and seq = node.seq and v = node.value in
+    if key > t.cur then t.cur <- key;
+    node.value <- t.dummy;
+    node.next <- t.free;
+    t.free <- node;
+    Some (key, seq, v)
+  end
+
+let floor t = t.cur

@@ -1,0 +1,40 @@
+(** Hierarchical timer wheel: the engine's default event queue.
+
+    Same ordering contract as {!Heap} — entries come out in nondecreasing
+    [(key, seq)] order — under two conditions the engine guarantees:
+    keys are non-negative and never below the {!floor} (the last popped
+    key), and same-key adds arrive in increasing [seq] order. 13 levels
+    of 32 slots cover the whole int key space; popping an imminent event
+    is O(1) and a far-future event is cascaded down at most 12 times
+    over its whole lifetime, against O(log n) comparisons per heap
+    operation. Popped nodes are recycled through a freelist with their
+    values cleared, so a drained wheel retains no user data. *)
+
+type 'a t
+
+val create : dummy:'a -> 'a t
+(** A fresh empty wheel with the floor at 0. [dummy] is written over a
+    node's value when it is popped, so recycled nodes never pin user
+    data; it is never returned. *)
+
+val length : 'a t -> int
+(** Number of entries currently queued. *)
+
+val is_empty : 'a t -> bool
+
+val add : 'a t -> key:int -> seq:int -> 'a -> unit
+(** [add t ~key ~seq v] inserts [v] with priority [(key, seq)]. Raises
+    [Invalid_argument] if [key] is below {!floor} — the wheel, unlike
+    the heap, cannot travel back in time. *)
+
+val pop_min : 'a t -> (int * int * 'a) option
+(** Remove and return the entry with the smallest [(key, seq)], or
+    [None] if the wheel is empty. Advances {!floor} to the popped key. *)
+
+val peek_key : 'a t -> int option
+(** Key of the minimum entry, without removing it or moving {!floor}. *)
+
+val floor : 'a t -> int
+(** Smallest key currently accepted by {!add}: the largest key ever
+    popped (or a cascade boundary at most that large). 0 when nothing
+    has been popped. *)

@@ -11,15 +11,32 @@ type config = {
   nports : int;
   queue_cells : int;
   forward_latency : Time.t;
+  drain_batch : int;
 }
 
 let default_config =
-  { nports = 4; queue_cells = 32; forward_latency = Time.us 2 }
+  { nports = 4; queue_cells = 32; forward_latency = Time.us 2;
+    drain_batch = 8 }
 
+(* Placeholder stored in vacated ring slots so forwarded cells are not
+   pinned by the preallocated arrays. *)
+let no_cell =
+  Cell.make ~vci:0 ~seq:0 ~eom:false ~last_of_pdu:false
+    (Bytes.make Cell.data_size '\000')
+
+(* The output queue is a preallocated ring: enqueue and dequeue allocate
+   nothing. [in_flight] counts cells the egress scheduler has pulled out
+   of the ring as a batch but whose drain instant has not arrived yet —
+   logically they are still queued, so occupancy and the overflow check
+   use [q_len + in_flight]. The ring itself never overflows: admission
+   is bounded by the same sum. *)
 type port = {
   mutable ingress : Atm_link.t option;
   mutable egress : Atm_link.t option;
-  out_q : Cell.t Queue.t;
+  ring : Cell.t array;
+  mutable q_head : int;
+  mutable q_len : int;
+  mutable in_flight : int;
   out_nonempty : Signal.t;
 }
 
@@ -38,6 +55,7 @@ type t = {
   ports : port array;
   routes : (int * int, int * int) Hashtbl.t;
   stats : stats;
+  mutable queued : int; (* total logical occupancy, all output ports *)
   m_in : Metrics.counter;
   m_fwd : Metrics.counter;
   m_drop_ovf : Metrics.counter;
@@ -45,18 +63,21 @@ type t = {
   mutable started : bool;
 }
 
-let occupancy t =
-  Array.fold_left (fun acc p -> acc + Queue.length p.out_q) 0 t.ports
+let occupancy t = t.queued
 
 let create eng ?(name = "sw") cfg =
   if cfg.nports < 1 then invalid_arg "Switch.create: nports < 1";
   if cfg.queue_cells < 1 then invalid_arg "Switch.create: queue_cells < 1";
+  if cfg.drain_batch < 1 then invalid_arg "Switch.create: drain_batch < 1";
   let ports =
     Array.init cfg.nports (fun _ ->
         {
           ingress = None;
           egress = None;
-          out_q = Queue.create ();
+          ring = Array.make cfg.queue_cells no_cell;
+          q_head = 0;
+          q_len = 0;
+          in_flight = 0;
           out_nonempty = Signal.create eng;
         })
   in
@@ -75,6 +96,7 @@ let create eng ?(name = "sw") cfg =
           dropped_no_route = 0;
           max_occupancy = 0;
         };
+      queued = 0;
       m_in = Metrics.counter "switch.cells_in";
       m_fwd = Metrics.counter "switch.forwarded";
       m_drop_ovf = Metrics.counter "switch.dropped_overflow";
@@ -113,7 +135,21 @@ let route t ~in_port ~in_vci = Hashtbl.find_opt t.routes (in_port, in_vci)
 
 let port_occupancy t ~port =
   check_port t "port_occupancy" port;
-  Queue.length t.ports.(port).out_q
+  let p = t.ports.(port) in
+  p.q_len + p.in_flight
+
+let ring_push p cell =
+  let cap = Array.length p.ring in
+  let i = p.q_head + p.q_len in
+  p.ring.(if i >= cap then i - cap else i) <- cell;
+  p.q_len <- p.q_len + 1
+
+let ring_take p =
+  let cell = p.ring.(p.q_head) in
+  p.ring.(p.q_head) <- no_cell;
+  p.q_head <- (if p.q_head + 1 = Array.length p.ring then 0 else p.q_head + 1);
+  p.q_len <- p.q_len - 1;
+  cell
 
 let ingress_cell t ~port cell =
   check_port t "ingress_cell" port;
@@ -128,7 +164,7 @@ let ingress_cell t ~port cell =
         cell.Cell.vci port
   | Some (out_port, out_vci) ->
       let p = t.ports.(out_port) in
-      if Queue.length p.out_q >= t.cfg.queue_cells then begin
+      if p.q_len + p.in_flight >= t.cfg.queue_cells then begin
         t.stats.dropped_overflow <- t.stats.dropped_overflow + 1;
         Metrics.incr t.m_drop_ovf;
         Trace.emitf Trace.Link ~now:(Engine.now t.eng)
@@ -136,20 +172,38 @@ let ingress_cell t ~port cell =
           t.sw_name out_port t.cfg.queue_cells cell.Cell.vci
       end
       else begin
-        Queue.add { cell with Cell.vci = out_vci } p.out_q;
-        let occ = occupancy t in
-        if occ > t.stats.max_occupancy then t.stats.max_occupancy <- occ;
+        (* Cells are immutable records shared with in-flight deliveries
+           (fault injection can alias one cell across two arrivals), so
+           the VCI rewrite must copy — but only when it changes
+           anything. *)
+        let cell =
+          if cell.Cell.vci = out_vci then cell
+          else { cell with Cell.vci = out_vci }
+        in
+        ring_push p cell;
+        t.queued <- t.queued + 1;
+        if t.queued > t.stats.max_occupancy then
+          t.stats.max_occupancy <- t.queued;
         Signal.broadcast p.out_nonempty
       end
 
+(* The per-cell forwarding commitment: this is the instant the cell
+   stops being "queued" and becomes "forwarded" in the conservation
+   invariant, whether it is drained directly or as part of a batch. *)
+let commit_forward t =
+  t.queued <- t.queued - 1;
+  t.stats.forwarded <- t.stats.forwarded + 1;
+  Metrics.incr t.m_fwd
+
 let drain_one t ~port =
   check_port t "drain_one" port;
-  match Queue.take_opt t.ports.(port).out_q with
-  | None -> None
-  | Some cell ->
-      t.stats.forwarded <- t.stats.forwarded + 1;
-      Metrics.incr t.m_fwd;
-      Some cell
+  let p = t.ports.(port) in
+  if p.q_len = 0 then None
+  else begin
+    let cell = ring_take p in
+    commit_forward t;
+    Some cell
+  end
 
 (* One consumer per ingress link: every arriving cell runs the routing +
    output-enqueue step the instant the link delivers it (input queueing is
@@ -164,18 +218,37 @@ let ingress_loop t port link () =
 
 (* One scheduler per output port: dequeue, hold the cell for the fabric's
    per-cell forwarding latency, then hand it to the egress link (whose
-   [send] models serialization backpressure and re-stripes by AAL seq). *)
+   [send] models serialization backpressure and re-stripes by AAL seq).
+
+   Cells are pulled from the ring up to [drain_batch] at a time to save
+   one queue round-trip per cell, but each one is committed (counted
+   forwarded, removed from the logical occupancy) only when its own
+   latency slot starts — exactly the instants a one-cell-per-wakeup
+   drain would commit them — so drop decisions, occupancy readings and
+   the conservation invariant are untouched by the batch size. *)
 let egress_loop t port link () =
   let p = t.ports.(port) in
+  let batch = Array.make t.cfg.drain_batch no_cell in
   let rec loop () =
-    match drain_one t ~port with
-    | None ->
-        Signal.wait p.out_nonempty;
-        loop ()
-    | Some cell ->
+    let n = min t.cfg.drain_batch p.q_len in
+    if n = 0 then begin
+      Signal.wait p.out_nonempty;
+      loop ()
+    end
+    else begin
+      for i = 0 to n - 1 do
+        batch.(i) <- ring_take p
+      done;
+      p.in_flight <- p.in_flight + n;
+      for i = 0 to n - 1 do
+        p.in_flight <- p.in_flight - 1;
+        commit_forward t;
         Process.sleep t.eng t.cfg.forward_latency;
-        Atm_link.send link cell;
-        loop ()
+        Atm_link.send link batch.(i);
+        batch.(i) <- no_cell
+      done;
+      loop ()
+    end
   in
   loop ()
 

@@ -30,11 +30,19 @@ type config = {
   forward_latency : Osiris_sim.Time.t;
       (** per-cell switching latency: the output scheduler holds each
           dequeued cell this long before handing it to the egress link *)
+  drain_batch : int;
+      (** cells the output scheduler pulls from its queue per wakeup
+          (>= 1). Purely a simulator-speed knob: each batched cell is
+          still committed — counted forwarded, removed from the logical
+          occupancy — at the exact instant a one-cell-per-wakeup drain
+          would commit it, so drops, occupancy and timing are identical
+          for every value. *)
 }
 
 val default_config : config
 (** 4 ports, 32-cell output queues, 2 µs per-cell forwarding latency —
-    roughly one OC-3 cell time through the fabric. *)
+    roughly one OC-3 cell time through the fabric — draining 8 cells
+    per scheduler wakeup. *)
 
 type t
 

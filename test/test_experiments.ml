@@ -191,6 +191,18 @@ let test_multiplexing_granularity () =
     (fine.Ablation_multiplexing.small_rtt_us
      < 0.8 *. coarse.Ablation_multiplexing.small_rtt_us)
 
+(* engine_speed smoke: a small budget through the full machinery — both
+   backends must agree on every counter and neither may leak. *)
+let test_engine_speed_backends_agree () =
+  let w, h, violations =
+    Engine_speed.run ~events:20_000 ~senders:2 ()
+  in
+  Alcotest.(check (list string)) "no violations" [] violations;
+  Alcotest.(check bool) "wheel forwarded cells" true
+    (w.Engine_speed.cells_forwarded > 0);
+  Alcotest.(check int) "same cells on both backends"
+    w.Engine_speed.cells_forwarded h.Engine_speed.cells_forwarded
+
 let test_registry_complete () =
   let ids = Registry.ids () in
   List.iter
@@ -224,5 +236,7 @@ let suite =
     Alcotest.test_case "4 ethernet baseline" `Quick test_ethernet_baseline;
     Alcotest.test_case "2.5.1 multiplexing granularity" `Quick
       test_multiplexing_granularity;
+    Alcotest.test_case "engine_speed backends agree" `Quick
+      test_engine_speed_backends_agree;
     Alcotest.test_case "registry sanity" `Quick test_registry_complete;
   ]

@@ -219,6 +219,295 @@ let test_determinism () =
   in
   Alcotest.(check string) "identical traces" (run ()) (run ())
 
+(* ------------------------------------------------------------------ *)
+(* Engine clock/accounting regressions (each failed before the fix).  *)
+
+let test_until_advances_when_drained () =
+  let eng = Engine.create () in
+  ignore (Engine.schedule eng ~delay:10 (fun () -> ()));
+  Engine.run ~until:100 eng;
+  check "clock reaches the horizon after the queue drains" 100
+    (Engine.now eng);
+  (* And repeated bounded runs over an empty queue stay monotonic. *)
+  Engine.run ~until:200 eng;
+  check "second bounded run" 200 (Engine.now eng)
+
+let test_max_events_counts_live_only () =
+  let eng = Engine.create () in
+  let fired = ref [] in
+  let hs =
+    List.init 6 (fun i ->
+        Engine.schedule eng ~delay:(10 * (i + 1)) (fun () ->
+            fired := i :: !fired))
+  in
+  (* Cancel events 0, 2 and 4: a budget of 2 must still buy two live
+     dispatches, not be eaten by popped corpses. *)
+  List.iteri (fun i h -> if i mod 2 = 0 then Engine.cancel h) hs;
+  Engine.run ~max_events:2 eng;
+  Alcotest.(check (list int)) "budget buys two live dispatches" [ 1; 3 ]
+    (List.rev !fired);
+  check "live dispatch counter" 2 (Engine.events_dispatched eng);
+  Engine.run eng;
+  Alcotest.(check (list int)) "remaining live event runs" [ 1; 3; 5 ]
+    (List.rev !fired)
+
+let test_until_budget_does_not_skip_pending () =
+  let eng = Engine.create () in
+  let times = ref [] in
+  for i = 1 to 3 do
+    ignore
+      (Engine.schedule eng ~delay:(10 * i) (fun () ->
+           times := Engine.now eng :: !times))
+  done;
+  (* The budget stops the run with events still pending inside the
+     horizon: the clock must hold at the last dispatch, not jump to the
+     horizon and then run backwards when those events fire later. *)
+  Engine.run ~until:100 ~max_events:1 eng;
+  check "clock holds with pending events inside the horizon" 10
+    (Engine.now eng);
+  Engine.run ~until:100 eng;
+  Alcotest.(check (list int)) "later events fire at their own times"
+    [ 10; 20; 30 ] (List.rev !times);
+  check "horizon reached once the queue is clear" 100 (Engine.now eng)
+
+let test_reschedule_periodic () =
+  let eng = Engine.create () in
+  let n = ref 0 in
+  let h = ref None in
+  let fire () =
+    incr n;
+    if !n < 5 then Engine.reschedule eng ~delay:10 (Option.get !h)
+  in
+  h := Some (Engine.schedule eng ~delay:10 fire);
+  Engine.run eng;
+  check "periodic timer fires via one reused handle" 5 !n;
+  check "clock tracks the period" 50 (Engine.now eng)
+
+let test_reschedule_queued_rejected () =
+  let eng = Engine.create () in
+  let h = Engine.schedule eng ~delay:10 (fun () -> ()) in
+  Alcotest.check_raises "still queued"
+    (Invalid_argument "Engine.reschedule_at: handle is still queued")
+    (fun () -> Engine.reschedule eng ~delay:5 h)
+
+let test_reschedule_after_cancel () =
+  let eng = Engine.create () in
+  let fired = ref 0 in
+  let h = Engine.schedule eng ~delay:5 (fun () -> incr fired) in
+  Engine.cancel h;
+  Engine.run eng;
+  check "cancelled" 0 !fired;
+  Engine.reschedule eng ~delay:5 h;
+  Engine.run eng;
+  check "re-armed handle is live again" 1 !fired
+
+(* ------------------------------------------------------------------ *)
+(* Space-leak regressions: popped entries must not pin their values.  *)
+
+(* Build outside the caller's frame so no stack root keeps [v] alive. *)
+let[@inline never] weak_after_pop add_pop =
+  let v = Bytes.make 64 'x' in
+  let w = Weak.create 1 in
+  Weak.set w 0 (Some v);
+  add_pop v;
+  w
+
+let test_heap_releases_popped_values () =
+  let h = Heap.create () in
+  let w =
+    weak_after_pop (fun v ->
+        Heap.add h ~key:1 ~seq:0 v;
+        match Heap.pop_min h with
+        | Some (1, 0, _) -> ()
+        | _ -> Alcotest.fail "heap pop mismatch")
+  in
+  Gc.full_major ();
+  Alcotest.(check bool) "popped heap value collected (heap still alive)"
+    true
+    (Weak.get w 0 = None)
+
+let test_wheel_releases_popped_values () =
+  let wh = Wheel.create ~dummy:Bytes.empty in
+  let w =
+    weak_after_pop (fun v ->
+        Wheel.add wh ~key:1 ~seq:0 v;
+        match Wheel.pop_min wh with
+        | Some (1, 0, _) -> ()
+        | _ -> Alcotest.fail "wheel pop mismatch")
+  in
+  Gc.full_major ();
+  Alcotest.(check bool) "popped wheel value collected (wheel still alive)"
+    true
+    (Weak.get w 0 = None)
+
+(* ------------------------------------------------------------------ *)
+(* Timer wheel unit behaviour. *)
+
+let test_wheel_cascade () =
+  let wh = Wheel.create ~dummy:(-1) in
+  (* Keys spanning many levels, including same-key FIFO runs. *)
+  let keys = [ 0; 5; 5; 31; 32; 1_000; 33_554_432; 1_000_000_000; 7 ] in
+  List.iteri (fun seq k -> Wheel.add wh ~key:k ~seq seq) keys;
+  Alcotest.(check (option int)) "peek" (Some 0) (Wheel.peek_key wh);
+  let popped = ref [] in
+  let rec drain () =
+    match Wheel.pop_min wh with
+    | None -> ()
+    | Some (k, s, v) ->
+        Alcotest.(check int) "value is its own seq" s v;
+        popped := (k, s) :: !popped;
+        drain ()
+  in
+  drain ();
+  Alcotest.(check (list (pair int int)))
+    "keys ascend, ties in seq order"
+    [ (0, 0); (5, 1); (5, 2); (7, 8); (31, 3); (32, 4); (1_000, 5);
+      (33_554_432, 6); (1_000_000_000, 7) ]
+    (List.rev !popped)
+
+let test_wheel_floor_rejects_past () =
+  let wh = Wheel.create ~dummy:0 in
+  Wheel.add wh ~key:100 ~seq:0 0;
+  ignore (Wheel.pop_min wh);
+  check "floor follows pops" 100 (Wheel.floor wh);
+  Alcotest.check_raises "below the floor"
+    (Invalid_argument "Wheel.add: key 99 below the pop floor 100")
+    (fun () -> Wheel.add wh ~key:99 ~seq:1 0)
+
+(* ------------------------------------------------------------------ *)
+(* Scheduler vs naive model: random add/pop sequences against a sorted
+   association list, identical for both backends. *)
+
+let scheduler_model_prop name add pop peek fresh =
+  QCheck.Test.make ~name ~count:200
+    QCheck.(list (pair (int_bound 4) (int_bound 1000)))
+    (fun ops ->
+      let q = fresh () in
+      let model = ref [] in
+      let seq = ref 0 and floor = ref 0 in
+      let fail = ref None in
+      let insert e l =
+        let le (k, s) (k', s') = k < k' || (k = k' && s <= s') in
+        let rec go = function
+          | [] -> [ e ]
+          | x :: tl -> if le x e then x :: go tl else e :: x :: tl
+        in
+        go l
+      in
+      List.iter
+        (fun (op, d) ->
+          (if op = 0 then
+             match (pop q, !model) with
+             | Some (k, s, ()), (mk, ms) :: tl when k = mk && s = ms ->
+                 model := tl;
+                 floor := max !floor k
+             | None, [] -> ()
+             | _ -> fail := Some "pop diverged from model"
+           else begin
+             let key = !floor + d in
+             add q ~key ~seq:!seq ();
+             model := insert (key, !seq) !model;
+             incr seq
+           end);
+          let want = match !model with [] -> None | (k, _) :: _ -> Some k in
+          if peek q <> want then fail := Some "peek diverged from model")
+        ops;
+      let rec drain () =
+        match (pop q, !model) with
+        | None, [] -> ()
+        | Some (k, s, ()), (mk, ms) :: tl when k = mk && s = ms ->
+            model := tl;
+            drain ()
+        | _ -> fail := Some "drain diverged from model"
+      in
+      drain ();
+      match !fail with None -> true | Some m -> QCheck.Test.fail_report m)
+
+let wheel_model_prop =
+  scheduler_model_prop "wheel matches sorted-list model"
+    (fun q ~key ~seq v -> Wheel.add q ~key ~seq v)
+    Wheel.pop_min Wheel.peek_key
+    (fun () -> Wheel.create ~dummy:())
+
+let heap_model_prop =
+  scheduler_model_prop "heap matches sorted-list model"
+    (fun q ~key ~seq v -> Heap.add q ~key ~seq v)
+    Heap.pop_min Heap.peek_key
+    (fun () -> Heap.create ())
+
+(* ------------------------------------------------------------------ *)
+(* Differential dispatch order: the same seeded workload must dispatch
+   event for event identically on both backends. The workload draws its
+   delays, cancellations and fan-out from an RNG consumed inside the
+   callbacks, so the streams only stay aligned if every dispatch (and
+   every bounded-run clock adjustment) matches exactly. *)
+
+let dispatch_trace ?chooser backend =
+  let eng = Engine.create ~backend () in
+  (match chooser with
+  | None -> ()
+  | Some seed ->
+      let crng = Osiris_util.Rng.create ~seed in
+      Engine.set_chooser eng
+        (Some (fun ~now:_ ~count -> Osiris_util.Rng.int crng count)));
+  let rng = Osiris_util.Rng.create ~seed:42 in
+  let buf = Buffer.create 4096 in
+  let count = ref 0 in
+  let cancellable = ref [] in
+  let rec spawn_event () =
+    if !count < 2500 then begin
+      incr count;
+      let id = !count in
+      let d =
+        match Osiris_util.Rng.int rng 5 with
+        | 0 | 1 -> 0
+        | 2 -> Osiris_util.Rng.int rng 50
+        | 3 -> Osiris_util.Rng.int rng 5_000
+        | _ -> Osiris_util.Rng.int rng 500_000
+      in
+      let h =
+        Engine.schedule eng ~delay:d (fun () ->
+            Buffer.add_string buf
+              (Printf.sprintf "%d@%d;" id (Engine.now eng));
+            if Osiris_util.Rng.int rng 3 > 0 then spawn_event ();
+            if Osiris_util.Rng.int rng 4 = 0 then spawn_event ())
+      in
+      if Osiris_util.Rng.int rng 5 = 0 then
+        cancellable := h :: !cancellable;
+      if Osiris_util.Rng.int rng 7 = 0 then
+        match !cancellable with
+        | h :: tl ->
+            Engine.cancel h;
+            cancellable := tl
+        | [] -> ()
+    end
+  in
+  for _ = 1 to 40 do
+    spawn_event ()
+  done;
+  (* Mixed bounded and budgeted segments exercise the clock-adjustment
+     paths, then an unbounded run drains the rest. *)
+  Engine.run ~until:200_000 eng;
+  Buffer.add_string buf (Printf.sprintf "|u:%d|" (Engine.now eng));
+  Engine.run ~max_events:500 eng;
+  Buffer.add_string buf (Printf.sprintf "|m:%d|" (Engine.now eng));
+  Engine.run eng;
+  Buffer.add_string buf
+    (Printf.sprintf "|end:%d disp:%d|" (Engine.now eng)
+       (Engine.events_dispatched eng));
+  Buffer.contents buf
+
+let test_differential_dispatch () =
+  Alcotest.(check string) "wheel and heap dispatch identically"
+    (dispatch_trace Engine.Binary_heap)
+    (dispatch_trace Engine.Timer_wheel)
+
+let test_differential_dispatch_chooser () =
+  Alcotest.(check string)
+    "wheel and heap agree under a randomized chooser"
+    (dispatch_trace ~chooser:11 Engine.Binary_heap)
+    (dispatch_trace ~chooser:11 Engine.Timer_wheel)
+
 (* Heap property: popping returns keys in nondecreasing order. *)
 let heap_prop =
   QCheck.Test.make ~name:"heap pops sorted" ~count:200
@@ -263,5 +552,31 @@ let suite =
     Alcotest.test_case "signal: broadcast wakes all" `Quick
       test_signal_broadcast;
     Alcotest.test_case "whole-sim determinism" `Quick test_determinism;
+    Alcotest.test_case "engine: until advances drained clock" `Quick
+      test_until_advances_when_drained;
+    Alcotest.test_case "engine: max_events counts live only" `Quick
+      test_max_events_counts_live_only;
+    Alcotest.test_case "engine: budget never skips pending time" `Quick
+      test_until_budget_does_not_skip_pending;
+    Alcotest.test_case "engine: reschedule reuses handle" `Quick
+      test_reschedule_periodic;
+    Alcotest.test_case "engine: reschedule of queued handle rejected" `Quick
+      test_reschedule_queued_rejected;
+    Alcotest.test_case "engine: reschedule revives cancelled handle" `Quick
+      test_reschedule_after_cancel;
+    Alcotest.test_case "heap: popped values are released" `Quick
+      test_heap_releases_popped_values;
+    Alcotest.test_case "wheel: popped values are released" `Quick
+      test_wheel_releases_popped_values;
+    Alcotest.test_case "wheel: multi-level cascade order" `Quick
+      test_wheel_cascade;
+    Alcotest.test_case "wheel: floor rejects past keys" `Quick
+      test_wheel_floor_rejects_past;
+    Alcotest.test_case "differential: wheel vs heap dispatch" `Quick
+      test_differential_dispatch;
+    Alcotest.test_case "differential: wheel vs heap with chooser" `Quick
+      test_differential_dispatch_chooser;
     QCheck_alcotest.to_alcotest heap_prop;
+    QCheck_alcotest.to_alcotest wheel_model_prop;
+    QCheck_alcotest.to_alcotest heap_model_prop;
   ]

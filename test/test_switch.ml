@@ -266,6 +266,63 @@ let test_explore_switch_datapath () =
         (Printf.sprintf "explored several schedules (%d)" runs)
         true (runs > 1)
 
+(* The egress drain batch is a simulator-speed knob only: the same
+   overloaded workload (small queue, bursty senders, real drops) must
+   produce bit-identical outcomes — deliveries with timestamps, every
+   switch counter, final clock and event count — for any batch size. *)
+let test_drain_batch_invisible () =
+  let outcome drain_batch =
+    let eng, topo =
+      Network.star ~n:3
+        ~switch:
+          {
+            Switch.default_config with
+            Switch.queue_cells = 24;
+            Switch.drain_batch = drain_batch;
+          }
+        ()
+    in
+    let dst = Network.host topo 0 in
+    let deliveries = ref [] in
+    List.iter
+      (fun src ->
+        let vc = Network.open_vc topo ~src ~dst:0 in
+        Demux.bind dst.Host.demux ~vci:vc.Network.dst_vci
+          ~name:(Printf.sprintf "sink%d" src) (fun ~vci:_ msg ->
+            deliveries := (src, Engine.now eng) :: !deliveries;
+            Msg.dispose msg);
+        let sender = Network.host topo src in
+        Process.spawn eng ~name:(Printf.sprintf "tx%d" src) (fun () ->
+            for _ = 1 to 5 do
+              let m = Msg.alloc sender.Host.vs ~len:4000 () in
+              Msg.blit_into m ~off:0
+                ~src:(Fault_soak.fill_pattern ~msg:src ~len:4000);
+              Driver.send sender.Host.driver ~vci:vc.Network.src_vci m;
+              Process.sleep eng (Time.us 150)
+            done))
+      [ 1; 2 ];
+    Engine.run ~until:(Time.ms 15) eng;
+    check_conservation topo.Network.switches.(0);
+    let s = Switch.stats topo.Network.switches.(0) in
+    ( List.rev !deliveries,
+      ( s.Switch.cells_in,
+        s.Switch.forwarded,
+        s.Switch.dropped_overflow,
+        s.Switch.max_occupancy ),
+      Engine.now eng,
+      Engine.events_dispatched eng )
+  in
+  let base = outcome 1 in
+  let _, (_, _, dropped, _), _, _ = base in
+  Alcotest.(check bool)
+    (Printf.sprintf "workload overloads the queue (%d drops)" dropped)
+    true (dropped > 0);
+  List.iter
+    (fun b ->
+      if outcome b <> base then
+        Alcotest.failf "drain_batch=%d changed simulation outcomes" b)
+    [ 3; 8; 64 ]
+
 let suite =
   [
     Alcotest.test_case "routing rewrites and drops unroutable cells" `Quick
@@ -282,4 +339,6 @@ let suite =
       test_incast_lossless_when_provisioned;
     Alcotest.test_case "explored switch datapath stays clean" `Quick
       test_explore_switch_datapath;
+    Alcotest.test_case "drain batch size is invisible to outcomes" `Quick
+      test_drain_batch_invisible;
   ]
