@@ -1,48 +1,53 @@
-(* Reliable delivery over an unreliable fabric, built entirely above the
-   stack: a stop-and-wait block protocol with acknowledgements, a
-   retransmission timer and exponential backoff, run against a scripted
-   cell-drop burst from the fault layer.
+(* Reliable delivery over an unreliable fabric — now via the stack's own
+   transport ({!Osiris_transport}) instead of a hand-rolled stop-and-wait
+   loop: sliding window, selective acks, adaptive RTO with backoff and
+   congestion control, run against the same scripted cell-drop burst
+   from the fault layer.
 
-   The point of the exercise: the adaptor, driver and UDP path give no
-   delivery guarantee (the paper's stack stops at checksummed datagrams),
-   so recovery from a lossy window is the application's problem.  A 30%
-   per-cell drop burst in the middle of the transfer kills essentially
-   every multi-cell PDU it touches; the sender's ack timeout notices,
-   backs off and retransmits until the block finally crosses intact, and
-   the receiver dedupes the retransmits.  Every delivered block is
-   verified byte-for-byte.
+   The point of the exercise is unchanged: the adaptor, driver and UDP
+   path give no delivery guarantee (the paper's stack stops at
+   checksummed datagrams), so recovery from a lossy window belongs to a
+   layer above them.  A 30% per-cell drop burst in the middle of the
+   transfer kills essentially every multi-cell PDU it touches; the
+   transport's sack-driven fast retransmits and retransmission timer
+   refill the holes until the stream crosses intact, and the stream is
+   verified byte-for-byte on the far side.
 
    Run with: dune exec examples/udp_retransmit.exe *)
 
 open Osiris_core
-module Msg = Osiris_xkernel.Msg
-module Udp = Osiris_proto.Udp
+module Board = Osiris_board.Board
 module Engine = Osiris_sim.Engine
-module Process = Osiris_sim.Process
-module Mailbox = Osiris_sim.Mailbox
 module Time = Osiris_sim.Time
 module Plan = Osiris_fault.Plan
 module Injector = Osiris_fault.Injector
+module Transport = Osiris_transport.Transport
+module Sender = Osiris_transport.Sender
 
 let block_size = 8 * 1024
 let nblocks = 24
-let data_port = 20
-let ack_port = 21
-let base_timeout = Time.ms 2
-let max_backoff = Time.ms 16
+let total_bytes = nblocks * block_size
+let data_vci = 9
+let ack_vci = 10
 
-(* Deterministic block contents: byte i of block b. *)
+(* Deterministic stream contents: byte i of block b — the same pattern
+   the stop-and-wait version of this example transferred, so the
+   byte-exact check survives the transport swap. *)
 let block_byte b i = Char.chr ((i + (b * 197)) land 0xff)
+let stream_byte off = block_byte (off / block_size) (off mod block_size)
 
 let () =
-  (* App-level retransmission only helps if the board underneath can shed
-     a wedged VC: a dropped end-of-message cell leaves a partial
-     reassembly that, without the reassembly timeout, holds its buffers
-     forever and garbles every retransmit appended to it. *)
+  (* Transport retransmission only helps if the board underneath can
+     shed a wedged VC: a cell dropped mid-PDU leaves the VC's striped
+     reassembly rotated out of phase, and without the reassembly-timeout
+     sweep every later PDU on that VC — including the retransmits meant
+     to repair the loss — reassembles permuted and dies in the CRC
+     check.  The timeout is the layer boundary: the board recovers its
+     own state, the transport recovers the bytes. *)
   let board =
     {
-      Osiris_board.Board.default_config with
-      Osiris_board.Board.reassembly_timeout = Time.ms 1;
+      Board.default_config with
+      Board.reassembly_timeout = Time.ms 1;
     }
   in
   let eng, net =
@@ -50,109 +55,73 @@ let () =
   in
   let a = net.Network.a and b = net.Network.b in
 
-  (* The fault: a heavy cell-drop burst over the data direction while the
-     middle of the transfer is in flight.  Scripted, so every run shows
-     the same storm. *)
+  (* The fault: the same heavy cell-drop burst over the data direction
+     while the middle of the transfer is in flight.  Scripted, so every
+     run shows the same storm. *)
   let plan = Plan.of_string "seed=11;drop@3ms-9ms=0.3" in
   ignore (Injector.inject eng ~plan ~link:net.Network.a_to_b ());
 
-  (* Receiver on B: verify, dedupe, ack.  Acks carry the block number;
-     re-acking a duplicate is what lets a lost ack heal too. *)
-  let received = Array.make nblocks false in
-  let duplicates = ref 0 and corrupt = ref 0 in
-  Udp.bind b.Host.udp ~port:data_port (fun ~src ~src_port:_ msg ->
-      let data = Msg.read_all msg in
-      Msg.dispose msg;
-      let blk =
-        Char.code (Bytes.get data 0) lor (Char.code (Bytes.get data 1) lsl 8)
-      in
-      let ok = ref (Bytes.length data = block_size + 4) in
-      if !ok then
-        for i = 4 to Bytes.length data - 1 do
-          if Bytes.get data i <> block_byte blk (i - 4) then ok := false
-        done;
-      if not !ok then incr corrupt
-      else begin
-        if received.(blk) then incr duplicates else received.(blk) <- true;
-        let ack = Msg.alloc b.Host.vs ~len:4 () in
-        Msg.blit_into ack ~off:0
-          ~src:(Bytes.init 4 (fun i -> Char.chr ((blk lsr (8 * i)) land 0xff)));
-        Udp.output b.Host.udp ~dst:src ~src_port:ack_port ~dst_port:ack_port
-          ack
-      end);
+  (* A back-to-back pair has no switch to rewrite VCIs, so the circuit
+     is just two hand-bound VCIs: data A->B, acks B->A. *)
+  Board.bind_vci b.Host.board ~vci:data_vci (Board.kernel_channel b.Host.board);
+  Board.bind_vci a.Host.board ~vci:ack_vci (Board.kernel_channel a.Host.board);
 
-  (* Ack collector on A: block numbers, in arrival order. *)
-  let acks = Mailbox.create eng () in
-  Udp.bind a.Host.udp ~port:ack_port (fun ~src:_ ~src_port:_ msg ->
-      let data = Msg.read_all msg in
-      Msg.dispose msg;
-      let blk =
-        Char.code (Bytes.get data 0) lor (Char.code (Bytes.get data 1) lsl 8)
-      in
-      ignore (Mailbox.try_send acks blk));
-
-  let retransmits = ref 0 and t_end = ref 0 in
-  let send_block blk =
-    let msg =
-      Msg.alloc a.Host.vs
-        ~len:(block_size + 4)
-        ~fill:(fun i ->
-          if i < 4 then Char.chr ((blk lsr (8 * i)) land 0xff)
-          else block_byte blk (i - 4))
-        ()
-    in
-    Udp.output a.Host.udp ~dst:b.Host.addr ~src_port:data_port
-      ~dst_port:data_port msg
+  (* Receiver side: the transport delivers the stream in order; verify
+     every byte against the generator as it arrives. *)
+  let delivered = ref 0 and corrupt = ref 0 in
+  let deliver payload =
+    Bytes.iter
+      (fun c ->
+        if c <> stream_byte !delivered then incr corrupt;
+        incr delivered)
+      payload
   in
-  (* Wait for blk's ack until [deadline]; the poll granularity only has
-     to be finer than the base timeout. *)
-  let rec await_ack blk deadline =
-    match Mailbox.try_recv acks with
-    | Some n when n = blk -> true
-    | Some _ -> await_ack blk deadline (* stale ack of an old retransmit *)
-    | None ->
-        if Engine.now eng >= deadline then false
-        else begin
-          Process.sleep eng (Time.us 100);
-          await_ack blk deadline
-        end
+  let t_end = ref 0 in
+  let conn =
+    Transport.attach eng ~src:a ~dst:b ~data_tx_vci:data_vci
+      ~data_rx_vci:data_vci ~ack_tx_vci:ack_vci ~ack_rx_vci:ack_vci ~deliver
+      ~on_state:(fun st ->
+        if st = Sender.Finished then begin
+          t_end := Engine.now eng;
+          Engine.stop eng
+        end)
+      ()
   in
-  Process.spawn eng ~name:"sender" (fun () ->
-      for blk = 0 to nblocks - 1 do
-        (* Stop-and-wait with exponential backoff: double the timeout on
-           every loss so retransmits thin out while the burst lasts. *)
-        let timeout = ref base_timeout in
-        send_block blk;
-        while not (await_ack blk (Engine.now eng + !timeout)) do
-          incr retransmits;
-          timeout := min (2 * !timeout) max_backoff;
-          send_block blk
-        done
-      done;
-      t_end := Engine.now eng;
-      Engine.stop eng);
-
+  Transport.send conn (Bytes.init total_bytes stream_byte);
+  Transport.close conn;
   Engine.run ~until:(Time.s 2) eng;
 
-  let missing =
-    Array.fold_left (fun n r -> if r then n else n + 1) 0 received
-  in
+  let st = Sender.stats (Transport.sender conn) in
   Printf.printf
     "transferred %d blocks (%d KB) in %.2f ms simulated through a 30%% \
      drop burst\n"
-    nblocks
-    (nblocks * block_size / 1024)
+    nblocks (total_bytes / 1024)
     (Time.to_float_us !t_end /. 1000.);
-  Printf.printf "recovery: %d retransmits, %d duplicate deliveries acked\n"
-    !retransmits !duplicates;
-  Printf.printf "blocks: %d ok, %d missing, %d corrupt\n" (nblocks - missing)
-    missing !corrupt;
-  if !t_end = 0 then begin
-    print_endline "FAIL: transfer did not complete";
+  Printf.printf
+    "recovery: %d retransmits (%d fast, %d tail probes), %d timeouts, \
+     %d cwnd cuts\n"
+    st.Sender.retransmits st.Sender.fast_retransmits st.Sender.tail_probes
+    st.Sender.timeouts st.Sender.cwnd_cuts;
+  Printf.printf "stream: %d/%d bytes delivered, %d corrupt, %d garbled PDUs\n"
+    !delivered total_bytes !corrupt (Transport.garbled conn);
+  (match Transport.state conn with
+  | Sender.Finished -> ()
+  | Sender.Active ->
+      print_endline "FAIL: transfer did not complete";
+      exit 1
+  | Sender.Failed r ->
+      Printf.printf "FAIL: transfer failed: %s\n" r;
+      exit 1);
+  if !delivered <> total_bytes || !corrupt > 0 then begin
+    print_endline "FAIL: delivered stream is not byte-exact";
     exit 1
   end;
-  if missing > 0 || !corrupt > 0 then exit 1;
-  if !retransmits = 0 then begin
+  (match Transport.invariants conn with
+  | [] -> ()
+  | vs ->
+      List.iter (Printf.printf "FAIL: invariant: %s\n") vs;
+      exit 1);
+  if st.Sender.retransmits = 0 then begin
     print_endline "FAIL: the drop burst never bit -- fault layer inert?";
     exit 1
   end

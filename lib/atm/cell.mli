@@ -17,6 +17,11 @@ type t = {
   seq : int;  (** AAL sequence number: index of this cell within its PDU *)
   eom : bool;  (** AAL framing bit: last cell of its (per-link) stream *)
   last_of_pdu : bool;  (** ATM-header framing bit: very last cell of the PDU *)
+  marked : bool;
+      (** ATM-header congestion bit (the EFCI/ECN-CE analogue): set by a
+          switch that enqueues the cell into a deep output queue, carried
+          through reassembly to the receiving host so its transport can
+          echo congestion back to the sender *)
   data : Bytes.t;  (** exactly {!data_size} bytes of user data *)
 }
 
@@ -36,9 +41,16 @@ val data_size : int
 (** 44 = [payload_size - aal_overhead]. *)
 
 val make :
-  vci:int -> seq:int -> eom:bool -> last_of_pdu:bool -> Bytes.t -> t
+  vci:int ->
+  seq:int ->
+  eom:bool ->
+  last_of_pdu:bool ->
+  ?marked:bool ->
+  Bytes.t ->
+  t
 (** Build a cell; the data must be exactly {!data_size} bytes and the vci
-    and seq must fit 16 bits. *)
+    and seq must fit 16 bits. [marked] (default [false]) is the congestion
+    bit — hosts never set it at origin; switches do. *)
 
 val serialize : t -> Bytes.t
 (** 53-byte wire image, including the header check byte. *)

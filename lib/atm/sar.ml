@@ -77,6 +77,8 @@ type t = {
   seen : (int, unit) Hashtbl.t; (* Seq_number: seqs received *)
   mutable link_counts : int array; (* Per_link: arrivals per link *)
   mutable link_eom : bool array; (* Per_link: framing bit seen per link *)
+  mutable saw_marked : bool; (* any cell of the current PDU carried the
+                                congestion bit *)
 }
 
 let create strategy ~max_cells =
@@ -94,9 +96,12 @@ let create strategy ~max_cells =
     seen = Hashtbl.create 64;
     link_counts = Array.make nlinks 0;
     link_eom = Array.make nlinks false;
+    saw_marked = false;
   }
 
 let cells_received t = t.received
+
+let marked_seen t = t.saw_marked
 
 let in_progress t = t.received > 0
 
@@ -117,7 +122,8 @@ let reset t =
   t.next_offset <- 0;
   Hashtbl.reset t.seen;
   Array.fill t.link_counts 0 (Array.length t.link_counts) 0;
-  Array.fill t.link_eom 0 (Array.length t.link_eom) false
+  Array.fill t.link_eom 0 (Array.length t.link_eom) false;
+  t.saw_marked <- false
 
 let finish t placement =
   let total = t.total_cells * Cell.data_size in
@@ -190,6 +196,7 @@ let m_rejects = Metrics.counter "sar.rejects"
 
 let push t ~link cell =
   Metrics.incr m_cells_pushed;
+  if cell.Cell.marked then t.saw_marked <- true;
   let outcome =
     match t.strategy with
     | In_order -> push_in_order t cell

@@ -85,6 +85,13 @@ val push : t -> link:int -> Cell.t -> outcome
 
 val cells_received : t -> int
 
+val marked_seen : t -> bool
+(** Has any cell of the current PDU carried the congestion (marked) bit?
+    Latched by {!push} — including cells whose placement was rejected —
+    and cleared by {!reset}. The receive processor copies it onto the
+    PDU's final filled-buffer descriptor so the congestion signal
+    survives reassembly. *)
+
 val in_progress : t -> bool
 (** Cells of a PDU have arrived but the PDU is not yet complete. *)
 

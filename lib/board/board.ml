@@ -750,14 +750,15 @@ let deliver_desc t vc ch desc =
    rest. Completion also resets the VC for the next PDU. *)
 let collect_posts t vc ~completed_total =
   let posts = ref [] in
-  let push_desc idx ~eop ~len =
+  let push_desc idx ~eop ~marked ~len =
     match Hashtbl.find_opt vc.bufs idx with
     | None -> ()
     | Some b ->
         if not b.posted then begin
           b.posted <- true;
           posts :=
-            Desc.v ~addr:b.bdesc.Desc.addr ~len ~vci:vc.vci ~eop () :: !posts
+            Desc.v ~addr:b.bdesc.Desc.addr ~len ~vci:vc.vci ~eop ~marked ()
+            :: !posts
         end
   in
   (match completed_total with
@@ -766,17 +767,22 @@ let collect_posts t vc ~completed_total =
       while !continue do
         match Hashtbl.find_opt vc.bufs vc.next_post with
         | Some b when vc.buf_size > 0 && b.filled >= vc.buf_size ->
-            push_desc vc.next_post ~eop:false ~len:vc.buf_size;
+            push_desc vc.next_post ~eop:false ~marked:false ~len:vc.buf_size;
             vc.next_post <- vc.next_post + 1
         | _ -> continue := false
       done
   | Some total ->
       Metrics.incr t.m.m_pdus_received;
+      (* The PDU's congestion bit, read before [reset_vc] clears the
+         reassembly state, rides on the eop descriptor: one flag per
+         PDU, exactly what the host's transport needs to echo. *)
+      let pdu_marked = Sar.marked_seen vc.sar in
       let bs = vc.buf_size in
       let nbufs = if bs = 0 then 0 else (total + bs - 1) / bs in
       for idx = vc.next_post to nbufs - 1 do
         let len = min bs (total - (idx * bs)) in
-        push_desc idx ~eop:(idx = nbufs - 1) ~len
+        let eop = idx = nbufs - 1 in
+        push_desc idx ~eop ~marked:(eop && pdu_marked) ~len
       done;
       recycle_buffers vc;
       reset_vc vc);

@@ -1,13 +1,14 @@
-type t = { addr : int; len : int; vci : int; eop : bool }
+type t = { addr : int; len : int; vci : int; eop : bool; marked : bool }
 
 let words = 2
 
-let v ~addr ~len ?(vci = 0) ?(eop = true) () =
+let v ~addr ~len ?(vci = 0) ?(eop = true) ?(marked = false) () =
   if len < 0 then invalid_arg "Desc.v: negative length";
-  { addr; len; vci; eop }
+  { addr; len; vci; eop; marked }
 
 let of_pbuf ?(vci = 0) ?(eop = true) (b : Osiris_mem.Pbuf.t) =
-  { addr = b.Osiris_mem.Pbuf.addr; len = b.Osiris_mem.Pbuf.len; vci; eop }
+  { addr = b.Osiris_mem.Pbuf.addr; len = b.Osiris_mem.Pbuf.len; vci; eop;
+    marked = false }
 
 let to_pbuf t = Osiris_mem.Pbuf.v ~addr:t.addr ~len:t.len
 
@@ -16,8 +17,10 @@ let chain_of_pbufs ~vci pbufs =
   List.mapi (fun i b -> of_pbuf ~vci ~eop:(i = n - 1) b) pbufs
 
 let pp fmt t =
-  Format.fprintf fmt "desc(%#x,+%d,vci=%d%s)" t.addr t.len t.vci
+  Format.fprintf fmt "desc(%#x,+%d,vci=%d%s%s)" t.addr t.len t.vci
     (if t.eop then ",eop" else "")
+    (if t.marked then ",ce" else "")
 
 let equal a b =
   a.addr = b.addr && a.len = b.len && a.vci = b.vci && a.eop = b.eop
+  && a.marked = b.marked

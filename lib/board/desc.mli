@@ -9,16 +9,19 @@
     where [len] is the number of bytes actually stored and [vci] identifies
     the stream for early demultiplexing. *)
 
-type t = { addr : int; len : int; vci : int; eop : bool }
+type t = { addr : int; len : int; vci : int; eop : bool; marked : bool }
 
 val words : int
 (** Dual-port memory words a descriptor occupies (address word plus a
     packed len/vci/flags word): the unit of PIO cost accounting. *)
 
-val v : addr:int -> len:int -> ?vci:int -> ?eop:bool -> unit -> t
+val v :
+  addr:int -> len:int -> ?vci:int -> ?eop:bool -> ?marked:bool -> unit -> t
 (** [len = 0] with [eop] is the abort marker the receive processor posts
     when it must abandon a PDU after some of its buffers were already
-    handed to the host. *)
+    handed to the host. [marked] (default [false], flags word bit) is the
+    reassembled PDU's congestion bit: the receive processor sets it on the
+    [eop] descriptor when any cell of the PDU arrived marked. *)
 
 val of_pbuf : ?vci:int -> ?eop:bool -> Osiris_mem.Pbuf.t -> t
 

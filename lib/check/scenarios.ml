@@ -1,9 +1,12 @@
 module Process = Osiris_sim.Process
+module Time = Osiris_sim.Time
 module Desc = Osiris_board.Desc
 module Desc_queue = Osiris_board.Desc_queue
 module Invariants = Osiris_core.Invariants
 module Cell = Osiris_atm.Cell
 module Switch = Osiris_switch.Switch
+module Sender = Osiris_transport.Sender
+module Receiver = Osiris_transport.Receiver
 
 type t = Explore.scenario
 
@@ -151,6 +154,103 @@ let switch_datapath ?(queue_cells = 3) ?(items = 8) () eng =
             Printf.sprintf
               "switch liveness: drained %d + dropped %d of %d cells" !drained
               s.Switch.dropped_overflow items;
+          ]);
+  }
+
+(* The transport sender/receiver state machines across a two-queue wire:
+   a data process delivers segments to the receiver, an ack process
+   delivers acks back to the sender, both stepping on the same fixed
+   quantum so every delivery is an engine choice point against the other
+   direction (and against the sender's retransmission timer once it
+   fires). One mid-stream segment's first transmission and the first ack
+   are dropped, so every explored schedule crosses the loss-recovery
+   machinery — duplicate-sack fast retransmit, cumulative-ack catch-up,
+   possibly an RTO — not just the happy path. The probes are the
+   production invariants ({!Osiris_transport.Sender.invariants} /
+   {!Osiris_transport.Receiver.invariants}: window bounds, byte and
+   transmission conservation, timer discipline) at every choice point,
+   plus at_end liveness and a byte-exact check of the delivered
+   stream. *)
+let transport ?(segs = 6) ?(drop_seg = 2) ?(drop_first_ack = true) () eng =
+  let config =
+    {
+      Sender.seg_size = 16;
+      window = 4;
+      init_cwnd = 2;
+      rto_init = Time.us 500;
+      rto_min = Time.us 100;
+      rto_max = Time.ms 2;
+      max_retries = 8;
+      dup_ack_threshold = 2;
+      ecn = false;
+    }
+  in
+  let total = segs * config.Sender.seg_size in
+  let pattern = Bytes.init total (fun i -> Char.chr ((i * 13 + 5) land 0xff)) in
+  let data_q = Queue.create () and ack_q = Queue.create () in
+  let got = Buffer.create total in
+  let receiver =
+    Receiver.create ~name:"chk-rcv" ~window:config.Sender.window
+      ~deliver:(fun ~seq:_ payload -> Buffer.add_bytes got payload)
+      ~tx_ack:(fun ~ack ~sack ~ece -> Queue.add (ack, sack, ece) ack_q)
+      ()
+  in
+  let sender =
+    Sender.create eng ~name:"chk-snd" ~config
+      ~tx:(fun ~seq ~retransmit payload ->
+        Queue.add (seq, retransmit, payload) data_q)
+      ()
+  in
+  Sender.offer sender (Bytes.copy pattern);
+  Sender.close sender;
+  (* Step caps keep every schedule terminating even if recovery wedges;
+     a stall then surfaces as the at_end liveness violation. A healthy
+     run finishes far below the cap (the RTO floor is ~50 quanta). *)
+  let quantum = Time.us 10 in
+  let max_steps = 600 in
+  let ack_dropped = ref (not drop_first_ack) in
+  Process.spawn eng ~name:"net-data" (fun () ->
+      let steps = ref 0 in
+      while Sender.state sender = Sender.Active && !steps <= max_steps do
+        incr steps;
+        (match Queue.take_opt data_q with
+        | Some (seq, retransmit, _) when seq = drop_seg && not retransmit ->
+            () (* the scripted loss: first transmission only *)
+        | Some (seq, _, payload) ->
+            Receiver.on_data receiver ~seq ~marked:false payload
+        | None -> ());
+        Process.sleep eng quantum
+      done);
+  Process.spawn eng ~name:"net-ack" (fun () ->
+      let steps = ref 0 in
+      while Sender.state sender = Sender.Active && !steps <= max_steps do
+        incr steps;
+        (match Queue.take_opt ack_q with
+        | Some _ when not !ack_dropped -> ack_dropped := true
+        | Some (ack, sack, ece) -> Sender.on_ack sender ~ack ~sack ~ece
+        | None -> ());
+        Process.sleep eng quantum
+      done);
+  let invs () = Sender.invariants sender @ Receiver.invariants receiver in
+  {
+    Explore.check = invs;
+    at_end =
+      (fun () ->
+        invs ()
+        @ (match Sender.state sender with
+          | Sender.Finished -> []
+          | Sender.Active -> [ "transport liveness: sender still Active" ]
+          | Sender.Failed r ->
+              [ Printf.sprintf "transport liveness: sender failed: %s" r ])
+        @
+        if Buffer.length got = total && Bytes.equal (Buffer.to_bytes got) pattern
+        then []
+        else
+          [
+            Printf.sprintf
+              "transport delivery: %d of %d bytes delivered%s"
+              (Buffer.length got) total
+              (if Buffer.length got = total then ", corrupted" else "");
           ]);
   }
 

@@ -37,6 +37,19 @@ val board_to_host :
 (** Receive-direction scenario: the board enqueues, the host dequeues —
     exercising the [shadow_head] side of the discipline. *)
 
+val transport : ?segs:int -> ?drop_seg:int -> ?drop_first_ack:bool -> unit -> t
+(** Transport state-machine scenario: an {!Osiris_transport.Sender} and
+    {!Osiris_transport.Receiver} joined by two queues, with a data
+    process and an ack process delivering across them on a shared time
+    quantum — every delivery a choice point against the other direction
+    and the sender's retransmission timer. The first transmission of
+    segment [drop_seg] (default 2, of [segs] = 6) is dropped, as is the
+    first ack when [drop_first_ack] (default true), so every schedule
+    exercises loss recovery. Probes: the production sender/receiver
+    invariants (window bounds, byte/transmission conservation, timer
+    discipline) at every choice point; at_end, liveness ([Finished]) and
+    a byte-exact check of the delivered stream. *)
+
 val switch_datapath : ?queue_cells:int -> ?items:int -> unit -> t
 (** Switch output-queue scenario: an ingress process pushes [items]
     (default 8) cells for one routed VC while an egress process drains

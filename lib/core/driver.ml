@@ -306,6 +306,11 @@ let process_pdu t chain ~last =
         build vaddrs payload_len
       in
       let msg = Msg.of_segs t.vs segs in
+      (* The board copies the PDU's congestion bit onto its eop
+         descriptor; surface it out-of-band on the message so a
+         transport above the demux can echo it. *)
+      if List.exists (fun (d : Desc.t) -> d.Desc.marked) chain then
+        Msg.set_marked msg;
       Msg.add_finalizer msg (fun () ->
           recycle t vaddrs;
           replenish_free_queue t);

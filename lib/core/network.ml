@@ -47,6 +47,7 @@ type topology = {
   endpoints : endpoint array;
   switches : Switch.t array;
   trunk_ports : int option array;
+  trunks : Atm_link.t array;
   mutable next_vci : int;
 }
 
@@ -97,6 +98,7 @@ let star ?backend ?(n = 3) ?(machine = Machine.ds5000_200)
       endpoints;
       switches = [| sw |];
       trunk_ports = [| None |];
+      trunks = [||];
       next_vci = first_user_vci;
     } )
 
@@ -137,6 +139,7 @@ let chain ?(n = 4) ?(machine = Machine.ds5000_200)
       endpoints;
       switches = [| sw0; sw1 |];
       trunk_ports = [| Some trunk0; Some trunk1 |];
+      trunks = [| trunk_01; trunk_10 |];
       next_vci = first_user_vci;
     } )
 

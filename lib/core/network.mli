@@ -51,6 +51,10 @@ type topology = {
   switches : Osiris_switch.Switch.t array;
   trunk_ports : int option array;
       (** per-switch port of the inter-switch trunk, when one exists *)
+  trunks : Osiris_link.Atm_link.t array;
+      (** the trunk links themselves ([\[| sw0->sw1; sw1->sw0 |\]] for
+          {!chain}, empty for {!star}) — the targets of [trunkloss]
+          fault bursts *)
   mutable next_vci : int;  (** next VCI {!open_vc} will hand out *)
 }
 

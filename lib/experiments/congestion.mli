@@ -1,0 +1,108 @@
+(** Congestion sweep: windowed transports incast one switch port.
+
+    {!Incast} measures raw damage from open-loop bursts; this experiment
+    reruns the many-to-one pattern with {!Osiris_transport} doing
+    end-to-end recovery and congestion control, and asks what the fabric
+    {e wastes}: retransmitted bytes and completion-time inflation vs the
+    output queue's capacity, with the switch's ECN-style threshold
+    marking off or on. Every byte is eventually delivered exactly once
+    (the runs audit this), so the cliff shows up as work, not loss.
+
+    {!soak} replays the transfer under seeded random fault plans — link
+    bursts, carrier outages, receive squeezes, plus a port-flap storm on
+    the receiver's switch port and a trunk-loss burst — requiring every
+    stream to finish byte-exact with bounded retransmission and zero
+    invariant violations. *)
+
+val small_machine : Osiris_core.Machine.t
+(** The Alpha profile with memory scaled to 8 MB and the receive pool
+    provisioned for the incast (the driver caps circulating buffers at
+    the descriptor-queue depth, and eight windowed senders can have more
+    PDUs in flight than the paper's 64-slot queue admits): fast enough,
+    and buffered enough, that the switch queue — not the adaptor's
+    no-buffer drop — is the loss point. *)
+
+val transport_config : Osiris_transport.Sender.config
+(** Short (128 B, four-cell) segments — so a whole PDU fits even the
+    shallowest swept queue several times over — window 16, RTO floor
+    above the congested round-trip. *)
+
+type outcome = {
+  senders : int;
+  queue_cells : int;
+  mark_threshold : int;  (** 0 = marking off *)
+  offered_bytes : int;  (** total, all senders *)
+  delivered_bytes : int;
+  byte_exact : bool;  (** every stream delivered exactly, in order *)
+  finished : int;  (** connections that reached Finished *)
+  failed : int;  (** connections that aborted (max retries) *)
+  completion : Osiris_sim.Time.t option;
+      (** last Finished instant; [None] if any stream didn't finish *)
+  unique_sent : int;  (** segments, all senders *)
+  retransmits : int;
+  retransmit_bytes : int;
+  timeouts : int;
+  fast_retransmits : int;
+  ece_acks : int;
+  marked_cells : int;
+  marked_pdus : int;
+  switch_dropped : int;
+  host_dropped : int;
+      (** PDUs the boards dropped for want of a receive buffer (§3.1) *)
+  cells_in : int;
+  max_occupancy : int;
+  violations : string list;
+      (** switch cell + mark conservation, transport state-machine
+          invariants, host invariants, traffic accounting *)
+}
+
+val run :
+  ?senders:int ->
+  ?queue_cells:int ->
+  ?marking:bool ->
+  ?bytes_per_sender:int ->
+  ?seed:int ->
+  ?config:Osiris_transport.Sender.config ->
+  ?plan:Osiris_fault.Plan.t ->
+  ?cap:Osiris_sim.Time.t ->
+  unit ->
+  outcome
+(** One transfer: [senders] hosts each push [bytes_per_sender] through
+    their own reliable connection to host 0, all crossing the same
+    switch output port ([queue_cells] deep; [marking] sets the threshold
+    to [max 2 (queue_cells / 3)]). The switch runs early/partial packet
+    discard sized to one segment PDU, so contention sheds whole PDUs
+    (clean losses the sack machinery recovers in a round trip) instead
+    of cutting cells out of the middle of them. [plan] additionally arms
+    a host-link injector on the receiver's downlink and a fabric
+    injector on the switch. The engine runs until every connection is
+    terminal (or [cap]), then a grace period, then the audit. *)
+
+val pp_outcome : Format.formatter -> outcome -> unit
+
+val sweep_queues : int list
+
+val goodput_ratio : baseline:outcome -> outcome -> float
+(** Completion-time ratio (baseline over run) — both runs deliver all
+    bytes, so relative wall-clock is the goodput measure. *)
+
+val figure_retransmits_vs_queue :
+  ?senders:int -> ?bytes_per_sender:int -> unit -> Report.figure
+(** The BENCH figure (marking off vs on vs lossless baseline). Raises
+    [Failure] if any run violates an invariant, if a marking-on run's
+    goodput falls below 90% of the baseline, or if marking-on
+    retransmitted bytes fail to decrease (within noise) as the queue
+    grows. *)
+
+val soak :
+  ?seeds:int ->
+  ?senders:int ->
+  ?bytes_per_sender:int ->
+  unit ->
+  (int * outcome) list
+(** The seeded fault soak (default 8 seeds), each seed a different
+    random plan + port-flap storm. *)
+
+val soak_violations : (int * outcome) list -> string list
+(** Empty iff every soak stream finished byte-exact with bounded
+    retransmission and no invariant violations. *)

@@ -115,6 +115,14 @@ let all =
       kind = Figure (fun () -> Incast.figure_goodput_vs_queue ());
     };
     {
+      id = "congestion";
+      description =
+        "transport: windowed senders incast one switch port; retransmitted \
+         bytes vs queue capacity, ECN marking off vs on, goodput held \
+         within 10% of a lossless baseline";
+      kind = Figure (fun () -> Congestion.figure_retransmits_vs_queue ());
+    };
+    {
       id = "engine_speed";
       description =
         "simulator: engine events/sec on a 1M-event star workload, timer \
@@ -128,7 +136,7 @@ let quick =
     (fun e ->
       not
         (List.mem e.id
-           [ "figure2"; "figure3"; "figure4"; "incast"; "engine_speed" ]))
+           [ "figure2"; "figure3"; "figure4"; "incast"; "congestion"; "engine_speed" ]))
     all
 
 let find id = List.find_opt (fun e -> e.id = id) all

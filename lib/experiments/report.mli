@@ -40,7 +40,7 @@ val bench_json :
   experiments:(string * string * Osiris_obs.Json.t) list ->
   micro:(string * float option) list ->
   Osiris_obs.Json.t
-(** The BENCH.json document (schema ["osiris-bench/4"]): the run [mode],
+(** The BENCH.json document (schema ["osiris-bench/5"]): the run [mode],
     every experiment as [(id, description, result_json)], Bechamel results
     as [(name, ns_per_run)], and a full {!Osiris_obs.Metrics} snapshot
     taken at call time. *)

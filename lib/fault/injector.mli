@@ -39,3 +39,31 @@ val disarm : t -> unit
     boundary events. Used before measuring quiescence. *)
 
 val plan : t -> Plan.t
+
+(** {2 Fabric faults}
+
+    The plan's switch-level dimensions: [portflap#N@a-b=hp] storms an
+    output port's carrier through {!Osiris_switch.Switch.set_port_state}
+    (a down port stops draining, so its queue fills and overflows) and
+    [trunkloss@a-b=p] raises the cell-drop probability of the
+    inter-switch trunk links. One plan can drive host-link injectors and
+    a fabric injector side by side; they share its boundary list. *)
+
+type fabric
+
+val inject_fabric :
+  Osiris_sim.Engine.t ->
+  plan:Plan.t ->
+  switch:Osiris_switch.Switch.t ->
+  ?trunks:Osiris_link.Atm_link.t array ->
+  unit ->
+  fabric
+(** Arm the plan's fabric dimensions on [switch] and, for chain
+    topologies, on its [trunks] (e.g.
+    {!Osiris_core.Network.topology.trunks}). *)
+
+val disarm_fabric : fabric -> unit
+(** Raise every port and restore the trunks' configured drop
+    probabilities; pending boundary events become no-ops. *)
+
+val fabric_plan : fabric -> Plan.t

@@ -16,6 +16,8 @@ type t = {
   irq_loss_ch : (int * burst) list;
   free_starve : (int * window) list;
   flap : (int * window * Time.t) list;
+  port_flap : (int * window * Time.t) list;
+  trunk_loss : burst list;
 }
 
 let none =
@@ -31,6 +33,8 @@ let none =
     irq_loss_ch = [];
     free_starve = [];
     flap = [];
+    port_flap = [];
+    trunk_loss = [];
   }
 
 type knobs = {
@@ -46,6 +50,8 @@ type knobs = {
   k_down : int list;  (* channels whose carrier is cut *)
   k_squeeze : int option;  (* tightest active rx-FIFO capacity *)
   k_free_starve : int list;  (* channels whose free queue is withheld *)
+  k_port_down : int list;  (* switch output ports with the carrier cut *)
+  k_trunk_loss : float;  (* cell-drop probability on inter-switch trunks *)
 }
 
 (* A flapping link is down on even half-periods of its storm window:
@@ -106,6 +112,15 @@ let knobs_at t now =
            (fun (ch, w) ->
              if now >= w.w_from && now < w.w_until then Some ch else None)
            t.free_starve);
+    k_port_down =
+      (* Port storms reuse the link-flap half-period model: down on even
+         half-periods of the window, restored when it closes. *)
+      List.sort_uniq compare
+        (List.filter_map
+           (fun (p, w, hp) ->
+             if flap_is_down (w, hp) now then Some p else None)
+           t.port_flap);
+    k_trunk_loss = active_prob t.trunk_loss now;
   }
 
 let boundaries t =
@@ -137,6 +152,8 @@ let boundaries t =
       List.concat_map (fun (_, w) -> of_window w) t.rx_squeeze;
       List.concat_map (fun (_, w) -> of_window w) t.free_starve;
       List.concat_map of_flap t.flap;
+      List.concat_map (fun (p, w, hp) -> of_flap (p, w, hp)) t.port_flap;
+      List.concat_map of_burst t.trunk_loss;
     ]
   |> List.sort_uniq compare
 
@@ -177,6 +194,8 @@ let random ?(nlinks = 4) ~seed ~horizon () =
     irq_loss_ch = [];
     free_starve = [];
     flap = [];
+    port_flap = [];
+    trunk_loss = [];
   }
 
 (* ------------------------------------------------------------------ *)
@@ -210,7 +229,12 @@ let to_string t =
     @ List.map
         (fun (l, w, hp) ->
           Printf.sprintf "flap#%d@%d-%d=%d" l w.w_from w.w_until hp)
-        t.flap)
+        t.flap
+    @ List.map
+        (fun (p, w, hp) ->
+          Printf.sprintf "portflap#%d@%d-%d=%d" p w.w_from w.w_until hp)
+        t.port_flap
+    @ List.map (sprint_burst "trunkloss") t.trunk_loss)
 
 let parse_time s =
   let num mult suffix =
@@ -297,6 +321,30 @@ let of_string s =
                 free_starve =
                   !t.free_starve @ [ (req_arg (), { w_from; w_until }) ];
               }
+        | "portflap" -> (
+            match String.split_on_char '=' rest with
+            | [ range; hp ] ->
+                let w_from, w_until = parse_range range in
+                t :=
+                  {
+                    !t with
+                    port_flap =
+                      !t.port_flap
+                      @ [ (req_arg (), { w_from; w_until }, parse_time hp) ];
+                  }
+            | _ -> failwith ("Fault_plan: bad portflap " ^ part))
+        | "trunkloss" -> (
+            match String.split_on_char '=' rest with
+            | [ range; p ] ->
+                let b_from, b_until = parse_range range in
+                t :=
+                  {
+                    !t with
+                    trunk_loss =
+                      !t.trunk_loss
+                      @ [ { b_from; b_until; prob = float_of_string p } ];
+                  }
+            | _ -> failwith ("Fault_plan: bad trunkloss " ^ part))
         | "flap" -> (
             match String.split_on_char '=' rest with
             | [ range; hp ] ->

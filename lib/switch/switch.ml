@@ -12,11 +12,13 @@ type config = {
   queue_cells : int;
   forward_latency : Time.t;
   drain_batch : int;
+  mark_threshold : int;
+  epd_reserve : int;
 }
 
 let default_config =
   { nports = 4; queue_cells = 32; forward_latency = Time.us 2;
-    drain_batch = 8 }
+    drain_batch = 8; mark_threshold = 0; epd_reserve = 0 }
 
 (* Placeholder stored in vacated ring slots so forwarded cells are not
    pinned by the preallocated arrays. *)
@@ -37,15 +39,29 @@ type port = {
   mutable q_head : int;
   mutable q_len : int;
   mutable in_flight : int;
+  mutable reserved : int;
+      (* cells of queue capacity held back for PDUs already admitted in
+         packet-discard mode; occupancy + reserved <= queue_cells always *)
+  mutable up : bool;
   out_nonempty : Signal.t;
 }
+
+(* Packet-discard (EPD/PPD) bookkeeping, keyed by (in_port, in_vci): the
+   admission verdict for the PDU currently arriving on that input VC.
+   [Pass r] — admitted, [r] reserved cells still unclaimed; [Shed] —
+   refused at its first cell (early packet discard) or cut off mid-PDU
+   (partial packet discard), every remaining cell is dropped. *)
+type pdu_admit = Pass of int | Shed
 
 type stats = {
   mutable cells_in : int;
   mutable forwarded : int;
   mutable dropped_overflow : int;
   mutable dropped_no_route : int;
+  mutable dropped_epd : int;
   mutable max_occupancy : int;
+  mutable marked : int;
+  mutable marked_forwarded : int;
 }
 
 type t = {
@@ -54,12 +70,16 @@ type t = {
   sw_name : string;
   ports : port array;
   routes : (int * int, int * int) Hashtbl.t;
+  pdus : (int * int, pdu_admit) Hashtbl.t;
   stats : stats;
   mutable queued : int; (* total logical occupancy, all output ports *)
+  mutable marked_queued : int; (* marked cells among [queued] *)
   m_in : Metrics.counter;
   m_fwd : Metrics.counter;
   m_drop_ovf : Metrics.counter;
   m_drop_route : Metrics.counter;
+  m_drop_epd : Metrics.counter;
+  m_marked : Metrics.counter;
   mutable started : bool;
 }
 
@@ -69,6 +89,10 @@ let create eng ?(name = "sw") cfg =
   if cfg.nports < 1 then invalid_arg "Switch.create: nports < 1";
   if cfg.queue_cells < 1 then invalid_arg "Switch.create: queue_cells < 1";
   if cfg.drain_batch < 1 then invalid_arg "Switch.create: drain_batch < 1";
+  if cfg.mark_threshold < 0 || cfg.mark_threshold > cfg.queue_cells then
+    invalid_arg "Switch.create: mark_threshold out of range";
+  if cfg.epd_reserve < 0 || cfg.epd_reserve > cfg.queue_cells then
+    invalid_arg "Switch.create: epd_reserve out of range";
   let ports =
     Array.init cfg.nports (fun _ ->
         {
@@ -78,6 +102,8 @@ let create eng ?(name = "sw") cfg =
           q_head = 0;
           q_len = 0;
           in_flight = 0;
+          reserved = 0;
+          up = true;
           out_nonempty = Signal.create eng;
         })
   in
@@ -88,19 +114,26 @@ let create eng ?(name = "sw") cfg =
       sw_name = name;
       ports;
       routes = Hashtbl.create 31;
+      pdus = Hashtbl.create 31;
       stats =
         {
           cells_in = 0;
           forwarded = 0;
           dropped_overflow = 0;
           dropped_no_route = 0;
+          dropped_epd = 0;
           max_occupancy = 0;
+          marked = 0;
+          marked_forwarded = 0;
         };
       queued = 0;
+      marked_queued = 0;
       m_in = Metrics.counter "switch.cells_in";
       m_fwd = Metrics.counter "switch.forwarded";
       m_drop_ovf = Metrics.counter "switch.dropped_overflow";
       m_drop_route = Metrics.counter "switch.dropped_no_route";
+      m_drop_epd = Metrics.counter "switch.dropped_epd";
+      m_marked = Metrics.counter "switch.marked";
       started = false;
     }
   in
@@ -151,6 +184,120 @@ let ring_take p =
   p.q_len <- p.q_len - 1;
   cell
 
+let enqueue t p ~out_vci cell =
+  (* ECN-like congestion signal: a cell admitted while the output
+     queue already stands at [mark_threshold] or deeper gets the
+     congestion bit, so the receiver learns of the standing queue
+     before it overflows (0 disables marking). Marking happens at
+     admission, never after: once a cell is queued marked it can
+     only leave forwarded, which is what [mark_conservation]
+     checks. *)
+  let mark =
+    t.cfg.mark_threshold > 0 && p.q_len + p.in_flight >= t.cfg.mark_threshold
+  in
+  (* Cells are immutable records shared with in-flight deliveries
+     (fault injection can alias one cell across two arrivals), so
+     the VCI rewrite and the mark must copy — but only when they
+     change anything. *)
+  let cell =
+    if cell.Cell.vci = out_vci && (cell.Cell.marked || not mark) then cell
+    else { cell with Cell.vci = out_vci; marked = cell.Cell.marked || mark }
+  in
+  if cell.Cell.marked then begin
+    t.stats.marked <- t.stats.marked + 1;
+    t.marked_queued <- t.marked_queued + 1;
+    Metrics.incr t.m_marked
+  end;
+  ring_push p cell;
+  t.queued <- t.queued + 1;
+  if t.queued > t.stats.max_occupancy then t.stats.max_occupancy <- t.queued;
+  Signal.broadcast p.out_nonempty
+
+let drop_overflow t out_port (cell : Cell.t) =
+  t.stats.dropped_overflow <- t.stats.dropped_overflow + 1;
+  Metrics.incr t.m_drop_ovf;
+  Trace.emitf Trace.Link ~now:(Engine.now t.eng)
+    "%s: output queue %d full (%d cells), cell vci %d dropped" t.sw_name
+    out_port t.cfg.queue_cells cell.Cell.vci
+
+let drop_epd t out_port (cell : Cell.t) ~why =
+  t.stats.dropped_epd <- t.stats.dropped_epd + 1;
+  Metrics.incr t.m_drop_epd;
+  Trace.emitf Trace.Link ~now:(Engine.now t.eng)
+    "%s: %s on output queue %d, cell vci %d seq %d dropped" t.sw_name why
+    out_port cell.Cell.vci cell.Cell.seq
+
+(* Packet-discard (EPD/PPD) admission, Romanow & Floyd style: the fate of
+   a PDU is decided once, at its first cell. Admission requires room for
+   [epd_reserve] cells over and above everything queued or already
+   promised, and holds that reservation until the PDU's cells claim it
+   (releasing any excess at the framing bit), so an admitted PDU of up to
+   [epd_reserve] cells can never lose a tail cell to interleaved traffic.
+   A PDU refused at its first cell is shed whole — early packet discard —
+   and one that outgrows its reservation into a full queue loses its
+   remaining cells — partial packet discard. Whole-PDU losses are what
+   make the discipline worth its queue space: the receiving board's
+   striped reassembly never sees a partial PDU, so a drop costs exactly
+   one PDU instead of desynchronizing the VC's stripe phase until a
+   reassembly timeout fires. *)
+let ingress_cell_epd t ~in_port ~out_port ~out_vci (cell : Cell.t) =
+  let p = t.ports.(out_port) in
+  let key = (in_port, cell.Cell.vci) in
+  (* seq 0 always opens a fresh PDU: if the previous PDU's tail was lost
+     upstream of the switch, its stale verdict (and reservation) would
+     otherwise pin this VC forever. *)
+  let state =
+    if cell.Cell.seq = 0 then begin
+      (match Hashtbl.find_opt t.pdus key with
+      | Some (Pass r) -> p.reserved <- p.reserved - r
+      | Some Shed | None -> ());
+      Hashtbl.remove t.pdus key;
+      None
+    end
+    else Hashtbl.find_opt t.pdus key
+  in
+  let last = cell.Cell.last_of_pdu in
+  let occ = p.q_len + p.in_flight in
+  match state with
+  | None ->
+      (* First cell: admit or shed the whole PDU. *)
+      if occ + p.reserved + t.cfg.epd_reserve <= t.cfg.queue_cells then begin
+        enqueue t p ~out_vci cell;
+        if not last then begin
+          let remaining = t.cfg.epd_reserve - 1 in
+          p.reserved <- p.reserved + remaining;
+          Hashtbl.replace t.pdus key (Pass remaining)
+        end
+      end
+      else begin
+        drop_epd t out_port cell ~why:"early packet discard";
+        if not last then Hashtbl.replace t.pdus key Shed
+      end
+  | Some (Pass r) when r > 0 ->
+      (* Admitted PDU claiming its reservation: room is guaranteed. *)
+      enqueue t p ~out_vci cell;
+      p.reserved <- p.reserved - 1;
+      if last then begin
+        p.reserved <- p.reserved - (r - 1);
+        Hashtbl.remove t.pdus key
+      end
+      else Hashtbl.replace t.pdus key (Pass (r - 1))
+  | Some (Pass _) ->
+      (* PDU longer than its reservation: take free (unreserved) space
+         while it lasts, cut the PDU off (PPD) when it runs out. *)
+      if occ + p.reserved < t.cfg.queue_cells then begin
+        enqueue t p ~out_vci cell;
+        if last then Hashtbl.remove t.pdus key
+      end
+      else begin
+        drop_epd t out_port cell ~why:"partial packet discard";
+        if last then Hashtbl.remove t.pdus key
+        else Hashtbl.replace t.pdus key Shed
+      end
+  | Some Shed ->
+      drop_epd t out_port cell ~why:"packet discard";
+      if last then Hashtbl.remove t.pdus key
+
 let ingress_cell t ~port cell =
   check_port t "ingress_cell" port;
   t.stats.cells_in <- t.stats.cells_in + 1;
@@ -163,36 +310,25 @@ let ingress_cell t ~port cell =
         "%s: no route for vci %d on port %d, cell dropped" t.sw_name
         cell.Cell.vci port
   | Some (out_port, out_vci) ->
-      let p = t.ports.(out_port) in
-      if p.q_len + p.in_flight >= t.cfg.queue_cells then begin
-        t.stats.dropped_overflow <- t.stats.dropped_overflow + 1;
-        Metrics.incr t.m_drop_ovf;
-        Trace.emitf Trace.Link ~now:(Engine.now t.eng)
-          "%s: output queue %d full (%d cells), cell vci %d dropped"
-          t.sw_name out_port t.cfg.queue_cells cell.Cell.vci
-      end
+      if t.cfg.epd_reserve > 0 then
+        ingress_cell_epd t ~in_port:port ~out_port ~out_vci cell
       else begin
-        (* Cells are immutable records shared with in-flight deliveries
-           (fault injection can alias one cell across two arrivals), so
-           the VCI rewrite must copy — but only when it changes
-           anything. *)
-        let cell =
-          if cell.Cell.vci = out_vci then cell
-          else { cell with Cell.vci = out_vci }
-        in
-        ring_push p cell;
-        t.queued <- t.queued + 1;
-        if t.queued > t.stats.max_occupancy then
-          t.stats.max_occupancy <- t.queued;
-        Signal.broadcast p.out_nonempty
+        let p = t.ports.(out_port) in
+        if p.q_len + p.in_flight >= t.cfg.queue_cells then
+          drop_overflow t out_port cell
+        else enqueue t p ~out_vci cell
       end
 
 (* The per-cell forwarding commitment: this is the instant the cell
    stops being "queued" and becomes "forwarded" in the conservation
    invariant, whether it is drained directly or as part of a batch. *)
-let commit_forward t =
+let commit_forward t (cell : Cell.t) =
   t.queued <- t.queued - 1;
   t.stats.forwarded <- t.stats.forwarded + 1;
+  if cell.Cell.marked then begin
+    t.marked_queued <- t.marked_queued - 1;
+    t.stats.marked_forwarded <- t.stats.marked_forwarded + 1
+  end;
   Metrics.incr t.m_fwd
 
 let drain_one t ~port =
@@ -201,9 +337,28 @@ let drain_one t ~port =
   if p.q_len = 0 then None
   else begin
     let cell = ring_take p in
-    commit_forward t;
+    commit_forward t cell;
     Some cell
   end
+
+(* Output-port carrier state (the fabric-fault dimension): a down port
+   stops draining — arrivals still enqueue and, once the queue stands
+   full, overflow-drop, so conservation is untouched. Raising the port
+   wakes its scheduler. *)
+let set_port_state t ~port up =
+  check_port t "set_port_state" port;
+  let p = t.ports.(port) in
+  if p.up <> up then begin
+    p.up <- up;
+    Trace.emitf Trace.Link ~now:(Engine.now t.eng) "%s: port %d %s" t.sw_name
+      port
+      (if up then "up" else "down");
+    if up then Signal.broadcast p.out_nonempty
+  end
+
+let port_up t ~port =
+  check_port t "port_up" port;
+  t.ports.(port).up
 
 (* One consumer per ingress link: every arriving cell runs the routing +
    output-enqueue step the instant the link delivers it (input queueing is
@@ -230,7 +385,7 @@ let egress_loop t port link () =
   let p = t.ports.(port) in
   let batch = Array.make t.cfg.drain_batch no_cell in
   let rec loop () =
-    let n = min t.cfg.drain_batch p.q_len in
+    let n = if p.up then min t.cfg.drain_batch p.q_len else 0 in
     if n = 0 then begin
       Signal.wait p.out_nonempty;
       loop ()
@@ -242,7 +397,7 @@ let egress_loop t port link () =
       p.in_flight <- p.in_flight + n;
       for i = 0 to n - 1 do
         p.in_flight <- p.in_flight - 1;
-        commit_forward t;
+        commit_forward t batch.(i);
         Process.sleep t.eng t.cfg.forward_latency;
         Atm_link.send link batch.(i);
         batch.(i) <- no_cell
@@ -277,4 +432,14 @@ let conservation t =
     ("queued", occupancy t);
     ("dropped_overflow", t.stats.dropped_overflow);
     ("dropped_no_route", t.stats.dropped_no_route);
+    ("dropped_epd", t.stats.dropped_epd);
+  ]
+
+(* Marked cells are admitted marked and can only leave forwarded (there
+   is no drop-from-queue path), so at every instant
+   marked = marked_forwarded + marked cells still queued. *)
+let mark_conservation t =
+  [
+    ("marked_forwarded", t.stats.marked_forwarded);
+    ("marked_queued", t.marked_queued);
   ]

@@ -37,12 +37,35 @@ type config = {
           occupancy — at the exact instant a one-cell-per-wakeup drain
           would commit it, so drops, occupancy and timing are identical
           for every value. *)
+  mark_threshold : int;
+      (** ECN-like congestion marking (DCTCP-style, queue-occupancy
+          threshold): a cell admitted to an output queue whose occupancy
+          already stands at this many cells or more gets its
+          {!Osiris_atm.Cell.t.marked} bit set, so receivers see standing
+          congestion before the queue overflows. 0 (the default)
+          disables marking; otherwise must be <= [queue_cells]. *)
+  epd_reserve : int;
+      (** Packet-discard mode (the early/partial packet discard of
+          Romanow & Floyd, SIGCOMM '94): 0 (the default) keeps plain
+          cell-granularity tail drop; a positive value decides each
+          PDU's fate at its {e first} cell ([seq] 0), admitting it only
+          when the output queue has this many cells of room beyond
+          everything queued or reserved for other admitted PDUs, and
+          shedding it whole otherwise. Admitted PDUs hold their unused
+          reservation until the framing bit; a PDU that outgrows its
+          reservation into a full queue loses its remaining cells
+          (partial packet discard, counted like the rest under
+          [dropped_epd]). Size it to the largest PDU the experiment
+          sends so drops are always whole PDUs — a partial PDU
+          desynchronizes the receiving board's striped reassembly until
+          its reassembly timeout fires, turning one lost cell into a
+          blackout. Must be <= [queue_cells]. *)
 }
 
 val default_config : config
 (** 4 ports, 32-cell output queues, 2 µs per-cell forwarding latency —
     roughly one OC-3 cell time through the fabric — draining 8 cells
-    per scheduler wakeup. *)
+    per scheduler wakeup, congestion marking off. *)
 
 type t
 
@@ -77,6 +100,16 @@ val start : t -> unit
     output scheduler per attached port). Idempotent per switch is {e not}
     supported: starting twice raises [Invalid_argument]. *)
 
+val set_port_state : t -> port:int -> bool -> unit
+(** Raise ([true]) or cut ([false]) an output port's carrier — the
+    fabric-level fault dimension ([portflap#N] plans). A down port stops
+    draining: cells routed to it still enqueue, and once the queue
+    stands full they are overflow-dropped, so the conservation law is
+    untouched. Cells already pulled into the egress pipe finish
+    serializing. Raising the port wakes its scheduler. Idempotent. *)
+
+val port_up : t -> port:int -> bool
+
 (** {2 Synchronous datapath (tests and the schedule explorer)}
 
     The two halves of the datapath are exposed directly so tests and
@@ -101,8 +134,17 @@ type stats = {
   mutable forwarded : int;  (** cells committed to an egress link *)
   mutable dropped_overflow : int;  (** lost to a full output queue *)
   mutable dropped_no_route : int;  (** no routing-table entry *)
+  mutable dropped_epd : int;
+      (** cells shed by packet-discard admission ([epd_reserve] > 0):
+          whole refused PDUs plus the cut-off tails of PDUs that outgrew
+          their reservation *)
   mutable max_occupancy : int;
       (** high-water mark of the total queued-cell count *)
+  mutable marked : int;
+      (** cells admitted with the congestion bit set (threshold marking;
+          counted under [switch.marked] in the metrics registry) *)
+  mutable marked_forwarded : int;
+      (** marked cells committed to an egress link *)
 }
 
 val stats : t -> stats
@@ -115,5 +157,12 @@ val port_occupancy : t -> port:int -> int
 val conservation : t -> (string * int) list
 (** The invariant's parts, for [Osiris_core.Invariants.balance]-style
     checks: [("forwarded", _); ("queued", _); ("dropped_overflow", _);
-    ("dropped_no_route", _)] — their sum must equal [(stats t).cells_in]
-    at every instant. *)
+    ("dropped_no_route", _); ("dropped_epd", _)] — their sum must equal
+    [(stats t).cells_in] at every instant. *)
+
+val mark_conservation : t -> (string * int) list
+(** The marking side of the conservation law:
+    [("marked_forwarded", _); ("marked_queued", _)] — their sum must
+    equal [(stats t).marked] at every instant. Marking happens at
+    admission (never to an already-queued cell) and a queued cell can
+    only leave forwarded, so marked cells are never dropped. *)

@@ -11,6 +11,9 @@ type t = {
   mutable owned : int list; (* region base vaddrs to free on dispose *)
   mutable finalizers : (unit -> unit) list;
   mutable disposed : bool;
+  mutable congestion_marked : bool;
+      (* out-of-band congestion signal: set by the driver when any cell
+         of the delivered PDU carried the switch's mark bit *)
 }
 
 let vspace t = t.vs
@@ -21,7 +24,7 @@ let of_segs vs segs =
     segs;
   let data = List.filter (fun s -> s.len > 0) segs in
   { vs; hdr_base = -1; hdr_off = 0; data; owned = []; finalizers = [];
-    disposed = false }
+    disposed = false; congestion_marked = false }
 
 let create vs ~vaddr ~len = of_segs vs [ { vaddr; len } ]
 
@@ -69,6 +72,7 @@ let alloc vs ~len ?(page_offset = 0) ?fill () =
     owned = [ vaddr ];
     finalizers = [];
     disposed = false;
+    congestion_marked = false;
   }
 
 let segs t =
@@ -154,7 +158,7 @@ let sub t ~off ~len =
   in
   { vs = t.vs; hdr_base = -1; hdr_off = 0;
     data = take (segs t) off len []; owned = []; finalizers = [];
-    disposed = false }
+    disposed = false; congestion_marked = t.congestion_marked }
 
 let pbufs t =
   Pbuf.coalesce
@@ -184,6 +188,10 @@ let blit_into t ~off ~src =
   go (segs t) off 0 len
 
 let add_finalizer t f = t.finalizers <- f :: t.finalizers
+
+let set_marked t = t.congestion_marked <- true
+
+let marked t = t.congestion_marked
 
 let dispose t =
   if not t.disposed then begin

@@ -70,6 +70,17 @@ val read_all : t -> Bytes.t
 val blit_into : t -> off:int -> src:Bytes.t -> unit
 (** Overwrite part of the message contents in place. *)
 
+val set_marked : t -> unit
+(** Latch the out-of-band congestion flag: the driver calls this when any
+    cell of the delivered PDU carried the switch's congestion-mark bit
+    (ECN-like threshold marking). Out-of-band so every existing
+    {!Osiris_xkernel.Demux} handler keeps its signature; transports that
+    care read it with {!marked}. *)
+
+val marked : t -> bool
+(** Did this message's PDU cross a congested switch queue? [sub] views
+    inherit the parent's flag. *)
+
 val add_finalizer : t -> (unit -> unit) -> unit
 (** Run the callback when the message is disposed. This is how driver
     receive buffers are recycled once the protocol stack and application

@@ -60,6 +60,27 @@ let test_clean_scenarios_explore_clean () =
       ("b2h spin-lock", Scenarios.board_to_host ~locking:Desc_queue.Spin_lock ());
     ]
 
+(* The transport sender/receiver state machines hold their invariants —
+   window bounds, byte and transmission conservation, timer discipline —
+   on every explored interleaving of data delivery, ack delivery and the
+   retransmission timer, through a scripted segment loss and ack loss,
+   and every schedule still delivers the stream byte-exact. *)
+let test_transport_explores_clean () =
+  let scenario = Scenarios.transport () in
+  (match Explore.dfs ~max_depth:depth ~max_runs:512 ~max_events:20_000 scenario with
+  | Some f, _ ->
+      Alcotest.failf "transport DFS: unexpected counterexample %s"
+        (Format.asprintf "%a" Explore.pp_failure f)
+  | None, runs ->
+      Alcotest.(check bool)
+        (Printf.sprintf "transport DFS explored several schedules (%d)" runs)
+        true (runs > 1));
+  match Explore.random_walks ~seed ~runs:64 ~max_events:20_000 scenario with
+  | Some f, _ ->
+      Alcotest.failf "transport random walks: unexpected counterexample %s"
+        (Format.asprintf "%a" Explore.pp_failure f)
+  | None, _ -> ()
+
 let torn () =
   Scenarios.host_to_board ~mutation:Desc_queue.Torn_tail_publish ()
 
@@ -134,6 +155,8 @@ let suite =
       test_schedule_roundtrip;
     Alcotest.test_case "clean scenarios explore clean" `Quick
       test_clean_scenarios_explore_clean;
+    Alcotest.test_case "transport state machine explores clean" `Quick
+      test_transport_explores_clean;
     Alcotest.test_case "torn publish: quiescence checks miss it" `Quick
       test_torn_publish_missed_by_quiescence_checks;
     Alcotest.test_case "torn publish: DFS catches it, replay matches" `Quick

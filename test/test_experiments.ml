@@ -203,6 +203,22 @@ let test_engine_speed_backends_agree () =
   Alcotest.(check int) "same cells on both backends"
     w.Engine_speed.cells_forwarded h.Engine_speed.cells_forwarded
 
+(* The congestion sweep is the figure the bench publishes; a cheap run
+   here pins (a) determinism — two runs from the same seed produce the
+   identical outcome record, counters and all, which is what makes the
+   bench numbers and the soak reproducible — and (b) the audit staying
+   clean at a contended queue depth. *)
+let test_congestion_deterministic () =
+  let go () =
+    Congestion.run ~senders:4 ~queue_cells:24 ~marking:true
+      ~bytes_per_sender:4096 ~seed:5 ()
+  in
+  let a = go () and b = go () in
+  Alcotest.(check (list string)) "no invariant violations" [] a.Congestion.violations;
+  Alcotest.(check bool) "every stream byte-exact" true a.Congestion.byte_exact;
+  Alcotest.(check int) "all connections finished" 4 a.Congestion.finished;
+  Alcotest.(check bool) "same seed, identical outcome" true (a = b)
+
 let test_registry_complete () =
   let ids = Registry.ids () in
   List.iter
@@ -238,5 +254,7 @@ let suite =
       test_multiplexing_granularity;
     Alcotest.test_case "engine_speed backends agree" `Quick
       test_engine_speed_backends_agree;
+    Alcotest.test_case "congestion run deterministic" `Quick
+      test_congestion_deterministic;
     Alcotest.test_case "registry sanity" `Quick test_registry_complete;
   ]

@@ -597,7 +597,86 @@ let test_plan_roundtrip () =
      50 toggles plus the window close (the starvation window's edges
      coincide with the first toggle and the close). *)
   Alcotest.(check int) "flap storm boundary count" 51
-    (List.length (Plan.boundaries f))
+    (List.length (Plan.boundaries f));
+  (* Fabric dimensions: port-flap storms and trunk-loss bursts. *)
+  let g = Plan.of_string "portflap#1@2ms-4ms=100us;trunkloss@1ms-3ms=0.2" in
+  Alcotest.(check string) "portflap/trunkloss round-trip" (Plan.to_string g)
+    (Plan.to_string (Plan.of_string (Plan.to_string g)));
+  Alcotest.(check (list int)) "port 1 down on an even half-period" [ 1 ]
+    (Plan.knobs_at g (Time.ms 2 + Time.us 20)).Plan.k_port_down;
+  Alcotest.(check (list int)) "port 1 up on an odd half-period" []
+    (Plan.knobs_at g (Time.ms 2 + Time.us 120)).Plan.k_port_down;
+  Alcotest.(check (float 1e-9)) "trunk loss active" 0.2
+    (Plan.knobs_at g (Time.ms 2)).Plan.k_trunk_loss;
+  Alcotest.(check (float 1e-9)) "trunk loss over" 0.0
+    (Plan.knobs_at g (Time.ms 3)).Plan.k_trunk_loss;
+  Alcotest.(check (list int)) "port restored after the storm" []
+    (Plan.knobs_at g (Time.ms 5)).Plan.k_port_down
+
+(* Property: any plan, across every fault dimension including the fabric
+   ones, survives a textual round-trip — [to_string] output re-parses to
+   a plan with the same text and the same boundary set. *)
+let qcheck_plan_roundtrip =
+  let open QCheck in
+  let gen =
+    let open Gen in
+    let time lo hi = map Time.us (lo -- hi) in
+    let ordered lo hi =
+      pair (time lo hi) (time lo hi) >|= fun (a, b) ->
+      if a < b then (a, b) else (b, a + Time.us 1)
+    in
+    let prob = 1 -- 1000 >|= fun k -> float_of_int k /. 1000. in
+    let burst =
+      pair (ordered 0 5000) prob >|= fun ((b_from, b_until), prob) ->
+      { Plan.b_from; b_until; prob }
+    in
+    let window =
+      ordered 0 5000 >|= fun (w_from, w_until) -> { Plan.w_from; w_until }
+    in
+    let chan_window = pair (0 -- 5) window in
+    let storm =
+      triple (0 -- 5) window (time 10 500) >|= fun (c, w, hp) -> (c, w, hp)
+    in
+    let bursts = list_size (0 -- 3) burst in
+    let windows = list_size (0 -- 2) chan_window in
+    let storms = list_size (0 -- 2) storm in
+    (0 -- 10000) >>= fun seed ->
+    bursts >>= fun drop ->
+    bursts >>= fun corrupt ->
+    bursts >>= fun corrupt_header ->
+    bursts >>= fun duplicate ->
+    windows >>= fun link_down ->
+    windows >>= fun rx_squeeze ->
+    bursts >>= fun irq_loss ->
+    list_size (0 -- 2) (pair (0 -- 5) burst) >>= fun irq_loss_ch ->
+    windows >>= fun free_starve ->
+    storms >>= fun flap ->
+    storms >>= fun port_flap ->
+    bursts >|= fun trunk_loss ->
+    {
+      Plan.seed;
+      drop;
+      corrupt;
+      corrupt_header;
+      duplicate;
+      link_down;
+      rx_squeeze;
+      irq_loss;
+      irq_loss_ch;
+      free_starve;
+      flap;
+      port_flap;
+      trunk_loss;
+    }
+  in
+  QCheck_alcotest.to_alcotest
+    (Test.make ~count:200 ~name:"plan textual round-trip (all dimensions)"
+       (make ~print:Plan.to_string gen)
+       (fun p ->
+         let s = Plan.to_string p in
+         let p' = Plan.of_string s in
+         String.equal s (Plan.to_string p')
+         && Plan.boundaries p = Plan.boundaries p'))
 
 (* The headline artifact: N seeds x randomized multi-dimension fault
    plans (drop + corruption + header mangles + duplication + a carrier
@@ -647,6 +726,7 @@ let suite =
     Alcotest.test_case "carrier flap storm converges" `Quick
       test_carrier_flap_storm;
     Alcotest.test_case "fault plans round-trip" `Quick test_plan_roundtrip;
+    qcheck_plan_roundtrip;
     Alcotest.test_case "multi-seed fault soak" `Slow test_multi_seed_soak;
     Alcotest.test_case "jittery striping end-to-end" `Quick
       test_jittery_striping_end_to_end;

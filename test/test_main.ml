@@ -21,6 +21,7 @@ let () =
       ("adc", Test_adc.suite);
       ("faults", Test_faults.suite);
       ("switch", Test_switch.suite);
+      ("transport", Test_transport.suite);
       ("check", Test_check.suite);
       ("analysis", Test_analysis.suite);
       ("experiments", Test_experiments.suite);
