@@ -1,18 +1,34 @@
 (* olint — enforce the checked-in interface policy (olint.policy) over
    the library tree. Exit 0 when clean, 1 on violations, 2 on usage or
-   policy errors. See Osiris_analysis.Lint for the rules. *)
+   policy errors. See Osiris_analysis.Lint (syntactic R0–R4) and
+   Osiris_analysis.Typed (typed R5–R7, enabled with --typed). *)
 
 let () =
   let policy_path = ref "olint.policy" in
   let roots = ref [] in
+  let typed_root = ref "" in
+  let format = ref "plain" in
   let spec =
     [
       ( "--policy",
         Arg.Set_string policy_path,
         "FILE policy file (default: olint.policy)" );
+      ( "--typed",
+        Arg.Set_string typed_root,
+        "DIR also run the typed passes (R5-R7) over .cmt files under DIR \
+         (e.g. _build/default)" );
+      ( "--format",
+        Arg.Symbol
+          ([ "plain"; "github" ], fun s -> format := s),
+        " output format: plain (grep-able, default) or github \
+         (::error problem-matcher annotations, in addition to plain)" );
     ]
   in
-  let usage = "olint [--policy FILE] [ROOT...]\nLint OCaml sources against the project ownership policy." in
+  let usage =
+    "olint [--policy FILE] [--typed CMT-DIR] [--format plain|github] \
+     [ROOT...]\n\
+     Lint OCaml sources against the project ownership policy."
+  in
   Arg.parse spec (fun r -> roots := !roots @ [ r ]) usage;
   let policy =
     try Osiris_analysis.Policy.load !policy_path
@@ -35,12 +51,31 @@ let () =
     exit 2
   end;
   let violations = Osiris_analysis.Lint.check_tree policy roots in
+  let violations =
+    if !typed_root = "" then violations
+    else if not (Sys.file_exists !typed_root) then begin
+      Printf.eprintf "olint: no such --typed root: %s\n" !typed_root;
+      exit 2
+    end
+    else
+      violations
+      @ Osiris_analysis.Typed.check_tree policy ~cmt_root:!typed_root
+  in
   List.iter
-    (fun v -> Format.printf "%a@." Osiris_analysis.Lint.pp_violation v)
+    (fun v ->
+      Format.printf "%a@." Osiris_analysis.Lint.pp_violation v;
+      (* GitHub problem-matcher annotation: surfaces the violation on
+         the PR diff when the lint job runs in Actions. *)
+      if !format = "github" then
+        Printf.printf "::error file=%s,line=%d::[%s] %s\n"
+          v.Osiris_analysis.Lint.file v.Osiris_analysis.Lint.line
+          v.Osiris_analysis.Lint.rule v.Osiris_analysis.Lint.message)
     violations;
   match violations with
   | [] ->
-      Printf.eprintf "olint: clean (%s)\n" (String.concat " " roots);
+      Printf.eprintf "olint: clean (%s%s)\n"
+        (String.concat " " roots)
+        (if !typed_root = "" then "" else " + typed:" ^ !typed_root);
       exit 0
   | vs ->
       Printf.eprintf "olint: %d violation%s\n" (List.length vs)

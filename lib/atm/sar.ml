@@ -125,67 +125,94 @@ let reset t =
   Array.fill t.link_eom 0 (Array.length t.link_eom) false;
   t.saw_marked <- false
 
-let finish t placement =
-  let total = t.total_cells * Cell.data_size in
-  Completed (placement, total)
+(* Outcome boxing is concentrated in these three constructors: every
+   push returns one freshly boxed outcome (placement record plus its
+   variant), which is the reassembly API's unit of work per cell.
+   ROADMAP lists arena-allocated placements as the known headroom; until
+   then these are the only certified allocations on the push path. *)
+let placed ~offset cell =
+  (Placed { offset; cell }
+  [@osiris.alloc_ok
+    "one boxed placement per pushed cell is the reassembly API's \
+     contract; arena-allocated placements are tracked ROADMAP headroom"])
+
+let rejected msg =
+  (Rejected msg
+  [@osiris.alloc_ok
+    "rejects happen only for faulted or overflowing cells and carry a \
+     static reason string; only the constructor box allocates"])
+
+let completed t ~offset cell =
+  (Completed ({ offset; cell }, t.total_cells * Cell.data_size)
+  [@osiris.alloc_ok
+    "completion fires once per PDU, not per cell; boxes the final \
+     placement and the byte count"])
 
 let push_in_order t (cell : Cell.t) =
-  if t.received >= t.max_cells then Rejected "reassembly overflow"
+  if t.received >= t.max_cells then rejected "reassembly overflow"
   else begin
-    let placement = { offset = t.next_offset; cell } in
+    let offset = t.next_offset in
     t.next_offset <- t.next_offset + Cell.data_size;
     t.received <- t.received + 1;
     if cell.Cell.last_of_pdu || cell.Cell.eom then begin
       t.total_cells <- t.received;
-      finish t placement
+      completed t ~offset cell
     end
-    else Placed placement
+    else placed ~offset cell
   end
 
 let push_seq t (cell : Cell.t) =
   let seq = cell.Cell.seq in
-  if seq >= t.max_cells then Rejected "sequence number out of window"
-  else if Hashtbl.mem t.seen seq then Rejected "duplicate sequence number"
+  if seq >= t.max_cells then rejected "sequence number out of window"
+  else if Hashtbl.mem t.seen seq then rejected "duplicate sequence number"
   else begin
-    Hashtbl.replace t.seen seq ();
+    (Hashtbl.replace t.seen seq ()
+    [@osiris.alloc_ok
+      "dedup table grows one bucket per distinct sequence number and is \
+       recycled at PDU reset"]);
     t.received <- t.received + 1;
     if cell.Cell.last_of_pdu then t.total_cells <- seq + 1;
-    let placement = { offset = seq * Cell.data_size; cell } in
-    if t.total_cells >= 0 && t.received = t.total_cells then finish t placement
+    let offset = seq * Cell.data_size in
+    if t.total_cells >= 0 && t.received = t.total_cells then
+      completed t ~offset cell
     else if t.total_cells >= 0 && t.received > t.total_cells then
-      Rejected "more cells than the PDU length allows"
-    else Placed placement
+      rejected "more cells than the PDU length allows"
+    else placed ~offset cell
   end
+
+(* True when links [l..n-1] have all shown their framing bit. Top level
+   so the completion test allocates no closure. *)
+let rec links_framed t l n = l >= n || (t.link_eom.(l) && links_framed t (l + 1) n)
 
 let push_per_link t ~link (cell : Cell.t) =
   let nlinks = Array.length t.link_counts in
-  if link < 0 || link >= nlinks then Rejected "unknown physical link"
-  else if t.received >= t.max_cells then Rejected "reassembly overflow"
+  if link < 0 || link >= nlinks then rejected "unknown physical link"
+  else if t.received >= t.max_cells then rejected "reassembly overflow"
   else begin
     let arrival = t.link_counts.(link) in
     let k = (arrival * nlinks) + link in
-    if k <> cell.Cell.seq && Sys.getenv_opt "OSIRIS_SARDEBUG" <> None then
-      Printf.eprintf "sar: misplaced seq=%d at k=%d (link=%d recv=%d total=%d)\n%!"
-        cell.Cell.seq k link t.received t.total_cells;
+    (if k <> cell.Cell.seq && Sys.getenv_opt "OSIRIS_SARDEBUG" <> None then
+       Printf.eprintf
+         "sar: misplaced seq=%d at k=%d (link=%d recv=%d total=%d)\n%!"
+         cell.Cell.seq k link t.received t.total_cells)
+    [@osiris.alloc_ok
+      "opt-in misplacement diagnostics behind an environment probe; \
+       never taken in benchmark runs"];
     t.link_counts.(link) <- arrival + 1;
     t.received <- t.received + 1;
     if cell.Cell.eom then t.link_eom.(link) <- true;
     if cell.Cell.last_of_pdu then t.total_cells <- k + 1;
-    let placement = { offset = k * Cell.data_size; cell } in
+    let offset = k * Cell.data_size in
     (* Complete when the total is known, every cell has arrived, and every
        link that carries cells of this PDU has shown its framing bit. *)
     if t.total_cells >= 0 && t.received >= t.total_cells then begin
       let links_used = min nlinks t.total_cells in
-      let all_framed = ref true in
-      for l = 0 to links_used - 1 do
-        if not t.link_eom.(l) then all_framed := false
-      done;
       if t.received > t.total_cells then
-        Rejected "more cells than the PDU length allows"
-      else if !all_framed then finish t placement
-      else Placed placement
+        rejected "more cells than the PDU length allows"
+      else if links_framed t 0 links_used then completed t ~offset cell
+      else placed ~offset cell
     end
-    else Placed placement
+    else placed ~offset cell
   end
 
 (* Reassembly is per-VC, with many short-lived instances; account at the

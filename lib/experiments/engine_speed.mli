@@ -28,6 +28,11 @@ type outcome = {
       (** major-heap words retained across all timed segments of both
           backends (they share the process heap, so retention is
           measured once and reported in both outcomes) *)
+  minor_words_per_event : float;
+      (** minor-heap words allocated per dispatched event, best
+          segment: the R5 hot-path allocation lint's rent, in numbers.
+          Not cross-checked between backends — the heap legitimately
+          boxes one entry per scheduled event. *)
 }
 
 val run :

@@ -125,8 +125,11 @@ let run ?(machine = Machine.ds5000_200) ?(seed = 1) ?(msgs = 60)
     duplicated_cells = lstats.Atm_link.duplicated;
     residual_reassemblies = Board.reassemblies_in_progress b.Host.board;
     violations =
-      Invariants.check ~quiescent:true ~board:b.Host.board
-        ~driver:b.Host.driver ();
+      Invariants.balance ~what:"link cell conservation"
+        ~total:(Atm_link.offered net.Network.a_to_b)
+        ~parts:(Atm_link.conservation net.Network.a_to_b)
+      @ Invariants.check ~quiescent:true ~board:b.Host.board
+          ~driver:b.Host.driver ();
   }
 
 let pp_outcome fmt o =

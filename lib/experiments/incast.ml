@@ -23,7 +23,7 @@ type outcome = {
   max_occupancy : int;
   residual_queued : int;
   timeout_aborts : int;
-  board_timeouts : int;
+  reassembly_timeouts : int;
   reassembly_errors : int;
   pdus_dropped_no_buffer : int;
   residual_reassemblies : int;
@@ -45,7 +45,7 @@ let accounting o =
    else [])
   @ (if
        lost > 0
-       && o.board_timeouts + o.reassembly_errors + o.timeout_aborts
+       && o.reassembly_timeouts + o.reassembly_errors + o.timeout_aborts
           + o.pdus_dropped_no_buffer
           = 0
        && o.switch_dropped < o.cells_in / max 1 o.offered_pdus
@@ -161,7 +161,7 @@ let run ?(machine = Machine.ds5000_200) ?(senders = 3) ?(queue_cells = 48)
       max_occupancy = st.Switch.max_occupancy;
       residual_queued = Switch.occupancy sw;
       timeout_aborts = dstats.Driver.timeout_aborts;
-      board_timeouts = bstats.Board.reassembly_timeouts;
+      reassembly_timeouts = bstats.Board.reassembly_timeouts;
       reassembly_errors = bstats.Board.reassembly_errors;
       pdus_dropped_no_buffer = bstats.Board.pdus_dropped_no_buffer;
       residual_reassemblies = Board.reassemblies_in_progress recv.Host.board;
@@ -178,7 +178,7 @@ let pp_outcome fmt o =
      violations"
     o.senders o.queue_cells o.delivered_pdus o.offered_pdus
     o.corrupted_delivered o.goodput_mbps o.offered_mbps o.cells_in
-    o.forwarded_cells o.switch_dropped o.max_occupancy o.board_timeouts
+    o.forwarded_cells o.switch_dropped o.max_occupancy o.reassembly_timeouts
     o.reassembly_errors o.timeout_aborts o.residual_reassemblies
     (List.length o.violations)
 
@@ -209,7 +209,7 @@ let figure_goodput_vs_queue () =
       [
         { Report.label = "offered PDUs"; points = pt (fun o -> float_of_int o.offered_pdus) };
         { Report.label = "delivered PDUs"; points = pt (fun o -> float_of_int o.delivered_pdus) };
-        { Report.label = "rx timeout aborts"; points = pt (fun o -> float_of_int (o.board_timeouts + o.timeout_aborts)) };
+        { Report.label = "rx timeout aborts"; points = pt (fun o -> float_of_int (o.reassembly_timeouts + o.timeout_aborts)) };
         { Report.label = "switch cell drops"; points = pt (fun o -> float_of_int o.switch_dropped) };
         { Report.label = "goodput (Mb/s)"; points = pt (fun o -> o.goodput_mbps) };
       ];

@@ -25,7 +25,7 @@ type outcome = {
   max_occupancy : int;  (** switch queue high-water mark, cells *)
   residual_queued : int;  (** must be 0 after the grace period *)
   timeout_aborts : int;  (** receiver driver timeout-marker chains *)
-  board_timeouts : int;  (** receiver board sweeper firings *)
+  reassembly_timeouts : int;  (** receiver board sweeper firings *)
   reassembly_errors : int;
   pdus_dropped_no_buffer : int;
   residual_reassemblies : int;  (** must be 0 at quiescence *)

@@ -107,7 +107,7 @@ let figure_json f =
 let bench_json ~mode ~experiments ~micro =
   Json.Assoc
     [
-      ("schema", Json.String "osiris-bench/5");
+      ("schema", Json.String "osiris-bench/6");
       ("mode", Json.String mode);
       ( "experiments",
         Json.List

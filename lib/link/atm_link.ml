@@ -40,8 +40,8 @@ let oc12_aggregate cfg =
   /. float_of_int Cell.wire_size
 
 type stats = {
-  mutable sent : int;
-  mutable delivered : int;
+  mutable cells_sent : int;
+  mutable cells_delivered : int;
   mutable dropped_fifo : int;
   mutable dropped_net : int;
   mutable corrupted : int;
@@ -306,8 +306,8 @@ let pending t = Mailbox.length t.inbox
 
 let stats t : stats =
   {
-    sent = Metrics.counter_value t.m.m_sent;
-    delivered = Metrics.counter_value t.m.m_delivered;
+    cells_sent = Metrics.counter_value t.m.m_sent;
+    cells_delivered = Metrics.counter_value t.m.m_delivered;
     dropped_fifo = Metrics.counter_value t.m.m_dropped_fifo;
     dropped_net = Metrics.counter_value t.m.m_dropped_net;
     corrupted = Metrics.counter_value t.m.m_corrupted;
@@ -316,3 +316,22 @@ let stats t : stats =
     header_corrupted = Metrics.counter_value t.m.m_header_corrupted;
     dropped_link_down = Metrics.counter_value t.m.m_dropped_link_down;
   }
+
+(* Every cell sent (plus every duplicate the fault model manufactures)
+   must land in exactly one disposition bucket once the trunk drains:
+   delivered into the rx mailbox, dropped at the full fifo, eaten by the
+   network (drop draw or cell filter), or lost to a dead link.
+   Corruption, reordering and header mangling tag a cell without
+   changing its disposition, so they do not appear in the equation. *)
+let offered t =
+  let s = stats t in
+  s.cells_sent + s.duplicated
+
+let conservation t =
+  let s = stats t in
+  [
+    ("cells_delivered", s.cells_delivered);
+    ("dropped_fifo", s.dropped_fifo);
+    ("dropped_net", s.dropped_net);
+    ("dropped_link_down", s.dropped_link_down);
+  ]

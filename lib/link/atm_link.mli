@@ -112,8 +112,8 @@ val set_cell_filter : t -> (int -> Osiris_atm.Cell.t -> bool) option -> unit
     cell (counted as [dropped_net]). [None] removes the hook. *)
 
 type stats = {
-  mutable sent : int;
-  mutable delivered : int;
+  mutable cells_sent : int;
+  mutable cells_delivered : int;
   mutable dropped_fifo : int;  (** lost to receive-FIFO overflow/squeeze *)
   mutable dropped_net : int;  (** lost in the network (drop_prob/filter) *)
   mutable corrupted : int;
@@ -125,3 +125,14 @@ type stats = {
 }
 
 val stats : t -> stats
+
+val offered : t -> int
+(** [cells_sent + duplicated]: the total the conservation parts must sum
+    to once the trunk has drained. *)
+
+val conservation : t -> (string * int) list
+(** Disposition buckets for every offered cell — delivered, fifo drop,
+    network drop, dead-link drop. Feed to [Invariants.balance] with
+    [offered] as the total at quiescence. Corruption/reordering/header
+    mangles tag cells without changing their disposition and so are
+    deliberately absent. *)

@@ -46,16 +46,42 @@ let ev_add t ~key ~seq h =
   h.queued <- true;
   match t.events with
   | E_wheel q -> Wheel.add q ~key ~seq h
-  | E_heap q -> Heap.add q ~key ~seq h
+  | E_heap q ->
+      (Heap.add q ~key ~seq h
+      [@osiris.alloc_ok
+        "heap backend boxes one Entry per add; it exists for differential \
+         testing, the production backend is the wheel"])
+
+(* Allocation-free dispatch primitives: [ev_take] raises [Not_found] on
+   an empty queue, and the popped entry's (time, seq) is read back
+   through [ev_last_key] — the option-returning [ev_pop]/[ev_peek]
+   remain for the chooser path, which allocates anyway. *)
+let ev_take t =
+  let h =
+    match t.events with E_wheel q -> Wheel.take q | E_heap q -> Heap.take q
+  in
+  h.queued <- false;
+  h
+
+let ev_last_key t =
+  match t.events with
+  | E_wheel q -> Wheel.last_key q
+  | E_heap q -> Heap.last_key q
+
+let ev_next_key t =
+  match t.events with
+  | E_wheel q -> Wheel.next_key q
+  | E_heap q -> Heap.next_key q
+
+let ev_last_seq t =
+  match t.events with
+  | E_wheel q -> Wheel.last_seq q
+  | E_heap q -> Heap.last_seq q
 
 let ev_pop t =
-  let r =
-    match t.events with
-    | E_wheel q -> Wheel.pop_min q
-    | E_heap q -> Heap.pop_min q
-  in
-  (match r with Some (_, _, h) -> h.queued <- false | None -> ());
-  r
+  match ev_take t with
+  | exception Not_found -> None
+  | h -> Some (ev_last_key t, ev_last_seq t, h)
 
 let ev_peek t =
   match t.events with
@@ -119,42 +145,49 @@ let pop_instant t key =
 let step_live t =
   match t.chooser with
   | None -> (
-      match ev_pop t with
-      | None -> `Empty
-      | Some (time, _seq, h) ->
-          t.clock <- time;
+      match ev_take t with
+      | exception Not_found -> `Empty
+      | h ->
+          t.clock <- ev_last_key t;
           if h.cancelled then `Skipped
           else begin
             t.dispatched <- t.dispatched + 1;
-            h.fn ();
+            (h.fn ()
+            [@osiris.alloc_ok
+              "dispatch: what the callback allocates is the callback's \
+               budget, not the engine's"]);
             `Dispatched
           end)
-  | Some choose -> (
-      match ev_peek t with
-      | None -> `Empty
-      | Some key -> (
-          match pop_instant t key with
-          | [] -> `Skipped (* only cancelled events at this instant *)
-          | [ (_, h) ] ->
-              t.clock <- key;
-              t.dispatched <- t.dispatched + 1;
-              h.fn ();
-              `Dispatched
-          | candidates ->
-              let n = List.length candidates in
-              let i = choose ~now:key ~count:n in
-              if i < 0 || i >= n then
-                invalid_arg
-                  (Printf.sprintf
-                     "Engine: chooser picked %d of %d candidates" i n);
-              let _, h = List.nth candidates i in
-              List.iteri
-                (fun j (seq, h') -> if j <> i then ev_add t ~key ~seq h')
-                candidates;
-              t.clock <- key;
-              t.dispatched <- t.dispatched + 1;
-              h.fn ();
-              `Dispatched))
+  | Some choose ->
+      ((match ev_peek t with
+       | None -> `Empty
+       | Some key -> (
+           match pop_instant t key with
+           | [] -> `Skipped (* only cancelled events at this instant *)
+           | [ (_, h) ] ->
+               t.clock <- key;
+               t.dispatched <- t.dispatched + 1;
+               h.fn ();
+               `Dispatched
+           | candidates ->
+               let n = List.length candidates in
+               let i = choose ~now:key ~count:n in
+               if i < 0 || i >= n then
+                 invalid_arg
+                   (Printf.sprintf
+                      "Engine: chooser picked %d of %d candidates" i n);
+               let _, h = List.nth candidates i in
+               List.iteri
+                 (fun j (seq, h') -> if j <> i then ev_add t ~key ~seq h')
+                 candidates;
+               t.clock <- key;
+               t.dispatched <- t.dispatched + 1;
+               h.fn ();
+               `Dispatched))
+      [@osiris.alloc_ok
+        "schedule-explorer path: a chooser is installed only by \
+         Osiris_check interleaving searches, never in production or \
+         benchmark runs"])
 
 let step t = step_live t <> `Empty
 
@@ -169,7 +202,7 @@ let run ?until ?max_events t =
     &&
     match until with
     | None -> pending t > 0
-    | Some u -> ( match ev_peek t with None -> false | Some k -> k <= u)
+    | Some u -> ev_next_key t <= u (* max_int when empty: never <= u *)
   in
   while continue () do
     match step_live t with
@@ -183,8 +216,6 @@ let run ?until ?max_events t =
      such events unfired, and firing them later must not move time
      backwards). *)
   match until with
-  | Some u when (not t.stopping) && t.clock < u -> (
-      match ev_peek t with
-      | Some k when k <= u -> ()
-      | _ -> t.clock <- u)
+  | Some u when (not t.stopping) && t.clock < u ->
+      if ev_next_key t > u then t.clock <- u
   | _ -> ()

@@ -5,9 +5,14 @@
    they capture — for the heap's whole lifetime. *)
 type 'a slot = Empty | Entry of { key : int; seq : int; value : 'a }
 
-type 'a t = { mutable arr : 'a slot array; mutable len : int }
+type 'a t = {
+  mutable arr : 'a slot array;
+  mutable len : int;
+  mutable last_key : int; (* (key, seq) of the entry [take] returned *)
+  mutable last_seq : int;
+}
 
-let create () = { arr = [||]; len = 0 }
+let create () = { arr = [||]; len = 0; last_key = 0; last_seq = 0 }
 
 let length h = h.len
 
@@ -25,26 +30,41 @@ let grow h =
   Array.blit h.arr 0 narr 0 h.len;
   h.arr <- narr
 
+(* The sift loops live at top level: defined inside [add]/[take] they
+   would capture [h] and allocate a closure per operation. *)
+let rec sift_up h i =
+  if i > 0 then begin
+    let p = (i - 1) / 2 in
+    if lt h.arr.(i) h.arr.(p) then begin
+      let tmp = h.arr.(i) in
+      h.arr.(i) <- h.arr.(p);
+      h.arr.(p) <- tmp;
+      sift_up h p
+    end
+  end
+
+let rec sift_down h i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let m = if l < h.len && lt h.arr.(l) h.arr.(i) then l else i in
+  let m = if r < h.len && lt h.arr.(r) h.arr.(m) then r else m in
+  if m <> i then begin
+    let tmp = h.arr.(i) in
+    h.arr.(i) <- h.arr.(m);
+    h.arr.(m) <- tmp;
+    sift_down h m
+  end
+
 let add h ~key ~seq value =
   if h.len = Array.length h.arr then grow h;
-  h.arr.(h.len) <- Entry { key; seq; value };
+  (h.arr.(h.len) <- Entry { key; seq; value }
+  [@osiris.alloc_ok
+    "the heap boxes one Entry per add by design; it is the \
+     differential-testing backend, the wheel is the production queue"]);
   h.len <- h.len + 1;
-  (* Sift up. *)
-  let rec up i =
-    if i > 0 then begin
-      let p = (i - 1) / 2 in
-      if lt h.arr.(i) h.arr.(p) then begin
-        let tmp = h.arr.(i) in
-        h.arr.(i) <- h.arr.(p);
-        h.arr.(p) <- tmp;
-        up p
-      end
-    end
-  in
-  up (h.len - 1)
+  sift_up h (h.len - 1)
 
-let pop_min h =
-  if h.len = 0 then None
+let take h =
+  if h.len = 0 then raise Not_found
   else
     match h.arr.(0) with
     | Empty -> assert false
@@ -53,23 +73,23 @@ let pop_min h =
         if h.len > 0 then begin
           h.arr.(0) <- h.arr.(h.len);
           h.arr.(h.len) <- Empty;
-          (* Sift down. *)
-          let rec down i =
-            let l = (2 * i) + 1 and r = (2 * i) + 2 in
-            let m = if l < h.len && lt h.arr.(l) h.arr.(i) then l else i in
-            let m = if r < h.len && lt h.arr.(r) h.arr.(m) then r else m in
-            if m <> i then begin
-              let tmp = h.arr.(i) in
-              h.arr.(i) <- h.arr.(m);
-              h.arr.(m) <- tmp;
-              down m
-            end
-          in
-          down 0
+          sift_down h 0
         end
         else h.arr.(0) <- Empty;
-        Some (min.key, min.seq, min.value)
+        h.last_key <- min.key;
+        h.last_seq <- min.seq;
+        min.value
 
-let peek_key h =
-  if h.len = 0 then None
-  else match h.arr.(0) with Empty -> assert false | Entry e -> Some e.key
+let last_key h = h.last_key
+let last_seq h = h.last_seq
+
+let pop_min h =
+  match take h with
+  | exception Not_found -> None
+  | v -> Some (h.last_key, h.last_seq, v)
+
+let next_key h =
+  if h.len = 0 then max_int
+  else match h.arr.(0) with Empty -> assert false | Entry e -> e.key
+
+let peek_key h = if h.len = 0 then None else Some (next_key h)

@@ -45,8 +45,10 @@ type 'a t = {
   mutable cur : int; (* floor: adds below this key are rejected *)
   mutable len : int;
   mutable free : 'a node; (* recycled nodes, values cleared to [dummy] *)
-  mutable min_valid : bool; (* cache for [peek_key] *)
+  mutable min_valid : bool; (* cache for [next_key]/[peek_key] *)
   mutable min_key : int;
+  mutable last_key : int; (* (key, seq) of the entry [take] returned *)
+  mutable last_seq : int;
 }
 
 let create ~dummy =
@@ -62,6 +64,8 @@ let create ~dummy =
     free = nil;
     min_valid = false;
     min_key = 0;
+    last_key = 0;
+    last_seq = 0;
   }
 
 let length t = t.len
@@ -80,14 +84,10 @@ let lsb_table =
 let lsb_index m = lsb_table.((((m land -m) * debruijn) lsr 27) land 31)
 
 (* Level of [key] relative to the floor: highest differing base-32
-   digit; 0 when equal. *)
-let level_for t key =
-  let x = ref ((key lxor t.cur) lsr bits) and l = ref 0 in
-  while !x <> 0 do
-    incr l;
-    x := !x lsr bits
-  done;
-  !l
+   digit; 0 when equal. Tail recursion instead of refs: [ref] allocates,
+   and this runs once per add and once per cascaded node (R5-hot). *)
+let rec level_loop x l = if x = 0 then l else level_loop (x lsr bits) (l + 1)
+let level_for t key = level_loop ((key lxor t.cur) lsr bits) 0
 
 let append t lvl slot node =
   let idx = (lvl lsl bits) lor slot in
@@ -105,8 +105,9 @@ let place t node =
 
 let add t ~key ~seq value =
   if key < t.cur then
-    invalid_arg
-      (Printf.sprintf "Wheel.add: key %d below the pop floor %d" key t.cur);
+    (invalid_arg
+       (Printf.sprintf "Wheel.add: key %d below the pop floor %d" key t.cur)
+    [@osiris.alloc_ok "cold error path: raises, never returns"]);
   let node =
     if t.free != t.nil then begin
       let n = t.free in
@@ -116,7 +117,11 @@ let add t ~key ~seq value =
       n.value <- value;
       n
     end
-    else { key; seq; value; next = t.nil }
+    else
+      ({ key; seq; value; next = t.nil }
+      [@osiris.alloc_ok
+        "freelist warm-up: one node per steady-state queue depth, then \
+         recycled forever"])
   in
   place t node;
   t.len <- t.len + 1;
@@ -128,35 +133,29 @@ let add t ~key ~seq value =
 (* Lowest nonempty level; the global minimum always lives there (keys at
    a lower level agree with [cur] on strictly more high digits, so they
    compare smaller). Caller guarantees [len > 0]. *)
-let min_level t =
-  let l = ref 0 in
-  while t.occ.(!l) = 0 do
-    incr l
-  done;
-  !l
+let rec min_level_from t l = if t.occ.(l) = 0 then min_level_from t (l + 1) else l
+let min_level t = min_level_from t 0
 
-let peek_key t =
-  if t.len = 0 then None
-  else if t.min_valid then Some t.min_key
+let rec slot_min t n best =
+  if n == t.nil then best
+  else slot_min t n.next (if n.key < best then n.key else best)
+
+let next_key t =
+  if t.len = 0 then max_int
+  else if t.min_valid then t.min_key
   else begin
     let lvl = min_level t in
     let slot = lsb_index t.occ.(lvl) in
     let k =
       if lvl = 0 then t.heads.(slot).key (* level-0 slots hold one key *)
-      else begin
-        let best = ref max_int in
-        let n = ref t.heads.((lvl lsl bits) lor slot) in
-        while !n != t.nil do
-          if !n.key < !best then best := !n.key;
-          n := !n.next
-        done;
-        !best
-      end
+      else slot_min t t.heads.((lvl lsl bits) lor slot) max_int
     in
     t.min_valid <- true;
     t.min_key <- k;
-    Some k
+    k
   end
+
+let peek_key t = if t.len = 0 then None else Some (next_key t)
 
 (* Cascade the lowest nonempty slot down until the minimum reaches
    level 0; each pass strictly lowers the minimum's level. Returns the
@@ -177,20 +176,23 @@ let rec settle t =
       lor (slot lsl shift)
     in
     if base > t.cur then t.cur <- base;
-    let n = ref t.heads.(idx) in
+    let head = t.heads.(idx) in
     t.heads.(idx) <- t.nil;
     t.tails.(idx) <- t.nil;
     t.occ.(lvl) <- t.occ.(lvl) land lnot (1 lsl slot);
-    while !n != t.nil do
-      let next = !n.next in
-      place t !n;
-      n := next
-    done;
+    replace_all t head;
     settle t
   end
 
-let pop_min t =
-  if t.len = 0 then None
+and replace_all t n =
+  if n != t.nil then begin
+    let next = n.next in
+    place t n;
+    replace_all t next
+  end
+
+let take t =
+  if t.len = 0 then raise Not_found
   else begin
     let slot = settle t in
     let node = t.heads.(slot) in
@@ -212,7 +214,17 @@ let pop_min t =
     node.value <- t.dummy;
     node.next <- t.free;
     t.free <- node;
-    Some (key, seq, v)
+    t.last_key <- key;
+    t.last_seq <- seq;
+    v
   end
+
+let last_key t = t.last_key
+let last_seq t = t.last_seq
+
+let pop_min t =
+  match take t with
+  | exception Not_found -> None
+  | v -> Some (t.last_key, t.last_seq, v)
 
 let floor t = t.cur

@@ -29,10 +29,29 @@ val add : 'a t -> key:int -> seq:int -> 'a -> unit
 
 val pop_min : 'a t -> (int * int * 'a) option
 (** Remove and return the entry with the smallest [(key, seq)], or
-    [None] if the wheel is empty. Advances {!floor} to the popped key. *)
+    [None] if the wheel is empty. Advances {!floor} to the popped key.
+    Allocates the result triple; the engine's dispatch loop uses
+    {!take} instead. *)
+
+val take : 'a t -> 'a
+(** Allocation-free {!pop_min}: removes the minimum entry and returns
+    its value; its key and sequence number are readable from
+    {!last_key}/{!last_seq} until the next [take]. Raises [Not_found]
+    on an empty wheel. *)
+
+val last_key : 'a t -> int
+(** Key of the entry the last {!take} returned. 0 before any take. *)
+
+val last_seq : 'a t -> int
+(** Sequence number of the entry the last {!take} returned. *)
 
 val peek_key : 'a t -> int option
 (** Key of the minimum entry, without removing it or moving {!floor}. *)
+
+val next_key : 'a t -> int
+(** Allocation-free {!peek_key}: the minimum key, or [max_int] when the
+    wheel is empty (keys are non-negative and [max_int] is rejected by
+    the engine's clock arithmetic long before it could be scheduled). *)
 
 val floor : 'a t -> int
 (** Smallest key currently accepted by {!add}: the largest key ever

@@ -46,12 +46,22 @@ type port = {
   out_nonempty : Signal.t;
 }
 
-(* Packet-discard (EPD/PPD) bookkeeping, keyed by (in_port, in_vci): the
-   admission verdict for the PDU currently arriving on that input VC.
-   [Pass r] — admitted, [r] reserved cells still unclaimed; [Shed] —
+(* Packet-discard (EPD/PPD) bookkeeping, keyed by packed
+   (in_port, in_vci): the admission verdict for the PDU currently
+   arriving on that input VC. A verdict [>= 0] means admitted with that
+   many reserved cells still unclaimed ([Pass r]); [shed] (-1) means
    refused at its first cell (early packet discard) or cut off mid-PDU
-   (partial packet discard), every remaining cell is dropped. *)
-type pdu_admit = Pass of int | Shed
+   (partial packet discard), every remaining cell dropped. Plain ints —
+   like the packed routing values — so the per-cell admission lookup
+   allocates nothing (a [Pass of int] box plus a tuple key cost two
+   allocations per cell; R5 flagged both). *)
+let shed = -1
+
+(* Routing keys and values are packed [(port lsl 16) lor vci]: VCIs are
+   validated to 16 bits at [add_route], so the encoding is lossless and
+   the per-cell [Hashtbl.find] hashes an immediate int instead of
+   allocating a tuple key per cell. *)
+let pack port vci = (port lsl 16) lor vci
 
 type stats = {
   mutable cells_in : int;
@@ -69,8 +79,8 @@ type t = {
   cfg : config;
   sw_name : string;
   ports : port array;
-  routes : (int * int, int * int) Hashtbl.t;
-  pdus : (int * int, pdu_admit) Hashtbl.t;
+  routes : (int, int) Hashtbl.t; (* pack in_port in_vci → pack out ... *)
+  pdus : (int, int) Hashtbl.t; (* pack in_port in_vci → verdict *)
   stats : stats;
   mutable queued : int; (* total logical occupancy, all output ports *)
   mutable marked_queued : int; (* marked cells among [queued] *)
@@ -146,7 +156,8 @@ let stats t = t.stats
 
 let check_port t fn port =
   if port < 0 || port >= t.cfg.nports then
-    invalid_arg (Printf.sprintf "Switch.%s: port %d out of range" fn port)
+    (invalid_arg (Printf.sprintf "Switch.%s: port %d out of range" fn port)
+    [@osiris.alloc_ok "cold error path: raises, never returns"])
 
 let attach_port t ~port ~ingress ~egress =
   check_port t "attach_port" port;
@@ -162,9 +173,12 @@ let add_route t ~in_port ~in_vci ~out_port ~out_vci =
   check_port t "add_route" out_port;
   if in_vci < 0 || in_vci > 0xffff || out_vci < 0 || out_vci > 0xffff then
     invalid_arg "Switch.add_route: vci out of range";
-  Hashtbl.replace t.routes (in_port, in_vci) (out_port, out_vci)
+  Hashtbl.replace t.routes (pack in_port in_vci) (pack out_port out_vci)
 
-let route t ~in_port ~in_vci = Hashtbl.find_opt t.routes (in_port, in_vci)
+let route t ~in_port ~in_vci =
+  match Hashtbl.find t.routes (pack in_port in_vci) with
+  | exception Not_found -> None
+  | rv -> Some (rv lsr 16, rv land 0xffff)
 
 let port_occupancy t ~port =
   check_port t "port_occupancy" port;
@@ -201,7 +215,11 @@ let enqueue t p ~out_vci cell =
      change anything. *)
   let cell =
     if cell.Cell.vci = out_vci && (cell.Cell.marked || not mark) then cell
-    else { cell with Cell.vci = out_vci; marked = cell.Cell.marked || mark }
+    else
+      ({ cell with Cell.vci = out_vci; marked = cell.Cell.marked || mark }
+      [@osiris.alloc_ok
+        "header rewrite must copy: cells are immutable and may be aliased \
+         by in-flight deliveries; skipped when nothing changes"])
   in
   if cell.Cell.marked then begin
     t.stats.marked <- t.stats.marked + 1;
@@ -211,21 +229,28 @@ let enqueue t p ~out_vci cell =
   ring_push p cell;
   t.queued <- t.queued + 1;
   if t.queued > t.stats.max_occupancy then t.stats.max_occupancy <- t.queued;
-  Signal.broadcast p.out_nonempty
+  (Signal.broadcast p.out_nonempty
+  [@osiris.alloc_ok
+    "waking the port scheduler resumes suspended processes (engine \
+     handles); cost is per wakeup of a sleeping drain loop, not per cell"])
 
 let drop_overflow t out_port (cell : Cell.t) =
   t.stats.dropped_overflow <- t.stats.dropped_overflow + 1;
   Metrics.incr t.m_drop_ovf;
-  Trace.emitf Trace.Link ~now:(Engine.now t.eng)
-    "%s: output queue %d full (%d cells), cell vci %d dropped" t.sw_name
-    out_port t.cfg.queue_cells cell.Cell.vci
+  (Trace.emitf Trace.Link ~now:(Engine.now t.eng)
+     "%s: output queue %d full (%d cells), cell vci %d dropped" t.sw_name
+     out_port t.cfg.queue_cells cell.Cell.vci
+  [@osiris.alloc_ok
+    "drop diagnostics: format value, off in benchmark runs"])
 
 let drop_epd t out_port (cell : Cell.t) ~why =
   t.stats.dropped_epd <- t.stats.dropped_epd + 1;
   Metrics.incr t.m_drop_epd;
-  Trace.emitf Trace.Link ~now:(Engine.now t.eng)
-    "%s: %s on output queue %d, cell vci %d seq %d dropped" t.sw_name why
-    out_port cell.Cell.vci cell.Cell.seq
+  (Trace.emitf Trace.Link ~now:(Engine.now t.eng)
+     "%s: %s on output queue %d, cell vci %d seq %d dropped" t.sw_name why
+     out_port cell.Cell.vci cell.Cell.seq
+  [@osiris.alloc_ok
+    "drop diagnostics: format value, off in benchmark runs"])
 
 (* Packet-discard (EPD/PPD) admission, Romanow & Floyd style: the fate of
    a PDU is decided once, at its first cell. Admission requires room for
@@ -242,74 +267,95 @@ let drop_epd t out_port (cell : Cell.t) ~why =
    reassembly timeout fires. *)
 let ingress_cell_epd t ~in_port ~out_port ~out_vci (cell : Cell.t) =
   let p = t.ports.(out_port) in
-  let key = (in_port, cell.Cell.vci) in
+  let key = pack in_port cell.Cell.vci in
   (* seq 0 always opens a fresh PDU: if the previous PDU's tail was lost
      upstream of the switch, its stale verdict (and reservation) would
-     otherwise pin this VC forever. *)
+     otherwise pin this VC forever. Verdicts are ints ([shed] or a
+     non-negative reservation); [min_int] stands for "no verdict". *)
   let state =
     if cell.Cell.seq = 0 then begin
-      (match Hashtbl.find_opt t.pdus key with
-      | Some (Pass r) -> p.reserved <- p.reserved - r
-      | Some Shed | None -> ());
+      (match Hashtbl.find t.pdus key with
+      | exception Not_found -> ()
+      | r -> if r > 0 then p.reserved <- p.reserved - r);
       Hashtbl.remove t.pdus key;
-      None
+      min_int
     end
-    else Hashtbl.find_opt t.pdus key
+    else match Hashtbl.find t.pdus key with
+      | exception Not_found -> min_int
+      | r -> r
   in
   let last = cell.Cell.last_of_pdu in
   let occ = p.q_len + p.in_flight in
-  match state with
-  | None ->
-      (* First cell: admit or shed the whole PDU. *)
-      if occ + p.reserved + t.cfg.epd_reserve <= t.cfg.queue_cells then begin
-        enqueue t p ~out_vci cell;
-        if not last then begin
-          let remaining = t.cfg.epd_reserve - 1 in
-          p.reserved <- p.reserved + remaining;
-          Hashtbl.replace t.pdus key (Pass remaining)
-        end
-      end
-      else begin
-        drop_epd t out_port cell ~why:"early packet discard";
-        if not last then Hashtbl.replace t.pdus key Shed
-      end
-  | Some (Pass r) when r > 0 ->
-      (* Admitted PDU claiming its reservation: room is guaranteed. *)
+  if state = min_int then begin
+    (* First cell: admit or shed the whole PDU. *)
+    if occ + p.reserved + t.cfg.epd_reserve <= t.cfg.queue_cells then begin
       enqueue t p ~out_vci cell;
-      p.reserved <- p.reserved - 1;
-      if last then begin
-        p.reserved <- p.reserved - (r - 1);
-        Hashtbl.remove t.pdus key
+      if not last then begin
+        let remaining = t.cfg.epd_reserve - 1 in
+        p.reserved <- p.reserved + remaining;
+        (Hashtbl.replace t.pdus key remaining
+        [@osiris.alloc_ok
+          "per-PDU bookkeeping: one bucket per open PDU, amortized over \
+           its cells"])
       end
-      else Hashtbl.replace t.pdus key (Pass (r - 1))
-  | Some (Pass _) ->
-      (* PDU longer than its reservation: take free (unreserved) space
-         while it lasts, cut the PDU off (PPD) when it runs out. *)
-      if occ + p.reserved < t.cfg.queue_cells then begin
-        enqueue t p ~out_vci cell;
-        if last then Hashtbl.remove t.pdus key
-      end
-      else begin
-        drop_epd t out_port cell ~why:"partial packet discard";
-        if last then Hashtbl.remove t.pdus key
-        else Hashtbl.replace t.pdus key Shed
-      end
-  | Some Shed ->
-      drop_epd t out_port cell ~why:"packet discard";
+    end
+    else begin
+      drop_epd t out_port cell ~why:"early packet discard";
+      if not last then
+        (Hashtbl.replace t.pdus key shed
+        [@osiris.alloc_ok "per-PDU bookkeeping, as above"])
+    end
+  end
+  else if state > 0 then begin
+    (* Admitted PDU claiming its reservation: room is guaranteed. *)
+    let r = state in
+    enqueue t p ~out_vci cell;
+    p.reserved <- p.reserved - 1;
+    if last then begin
+      p.reserved <- p.reserved - (r - 1);
+      Hashtbl.remove t.pdus key
+    end
+    else
+      (Hashtbl.replace t.pdus key (r - 1)
+      [@osiris.alloc_ok "overwrites the PDU's existing int binding"])
+  end
+  else if state = 0 then begin
+    (* PDU longer than its reservation: take free (unreserved) space
+       while it lasts, cut the PDU off (PPD) when it runs out. *)
+    if occ + p.reserved < t.cfg.queue_cells then begin
+      enqueue t p ~out_vci cell;
       if last then Hashtbl.remove t.pdus key
+    end
+    else begin
+      drop_epd t out_port cell ~why:"partial packet discard";
+      if last then Hashtbl.remove t.pdus key
+      else
+        (Hashtbl.replace t.pdus key shed
+        [@osiris.alloc_ok "overwrites the PDU's existing int binding"])
+    end
+  end
+  else begin
+    (* [shed]: the PDU lost its admission; drop the rest of it. *)
+    drop_epd t out_port cell ~why:"packet discard";
+    if last then Hashtbl.remove t.pdus key
+  end
 
 let ingress_cell t ~port cell =
   check_port t "ingress_cell" port;
   t.stats.cells_in <- t.stats.cells_in + 1;
   Metrics.incr t.m_in;
-  match Hashtbl.find_opt t.routes (port, cell.Cell.vci) with
-  | None ->
+  match Hashtbl.find t.routes (pack port cell.Cell.vci) with
+  | exception Not_found ->
       t.stats.dropped_no_route <- t.stats.dropped_no_route + 1;
       Metrics.incr t.m_drop_route;
-      Trace.emitf Trace.Link ~now:(Engine.now t.eng)
-        "%s: no route for vci %d on port %d, cell dropped" t.sw_name
-        cell.Cell.vci port
-  | Some (out_port, out_vci) ->
+      (Trace.emitf Trace.Link ~now:(Engine.now t.eng)
+         "%s: no route for vci %d on port %d, cell dropped" t.sw_name
+         cell.Cell.vci port
+      [@osiris.alloc_ok
+        "drop diagnostics: emitf builds a format value; tracing is off in \
+         benchmark runs"])
+  | rv ->
+      let out_port = rv lsr 16 and out_vci = rv land 0xffff in
       if t.cfg.epd_reserve > 0 then
         ingress_cell_epd t ~in_port:port ~out_port ~out_vci cell
       else begin
@@ -338,7 +384,10 @@ let drain_one t ~port =
   else begin
     let cell = ring_take p in
     commit_forward t cell;
-    Some cell
+    (Some cell
+    [@osiris.alloc_ok
+      "option box for the synchronous test/explorer surface; the egress \
+       loop spawned by start uses ring_take directly"])
   end
 
 (* Output-port carrier state (the fabric-fault dimension): a down port

@@ -54,6 +54,14 @@ type stats = {
   mutable rtt_samples : int;
 }
 
+(* Congestion state lives in its own all-float record: a float field in
+   the mixed record [t] would be boxed, costing one minor allocation per
+   store — and [on_ack] stores cwnd on every ack. An all-float record is
+   flat (unboxed fields), so the per-ack window arithmetic allocates
+   nothing. Numerics are bit-identical: same IEEE doubles, one less
+   indirection. *)
+type cc = { mutable cwnd : float; mutable ssthresh : float (* segments *) }
+
 type t = {
   eng : Engine.t;
   cfg : config;
@@ -66,8 +74,7 @@ type t = {
   mutable snd_una : int;
   mutable snd_nxt : int;
   mutable sacked_count : int; (* sacked segments in [snd_una, snd_nxt) *)
-  mutable cwnd : float; (* in segments *)
-  mutable ssthresh : float;
+  cc : cc;
   mutable dupacks : int;
   mutable recover : int; (* NewReno recovery fence: snd_nxt at last cut *)
   mutable ece_hold_until : Time.t; (* no second ECE cut before this *)
@@ -86,8 +93,8 @@ type t = {
 
 let state t = t.state
 let stats t = t.stats
-let cwnd t = t.cwnd
-let ssthresh t = t.ssthresh
+let cwnd t = t.cc.cwnd
+let ssthresh t = t.cc.ssthresh
 let rto t = t.rto
 let snd_una t = t.snd_una
 let snd_nxt t = t.snd_nxt
@@ -98,7 +105,9 @@ let outstanding t = t.snd_nxt - t.snd_una
 let seg t q =
   match t.segs.(q) with
   | Some s -> s
-  | None -> invalid_arg (Printf.sprintf "Sender.%s: no segment %d" t.name q)
+  | None ->
+      (invalid_arg (Printf.sprintf "Sender.%s: no segment %d" t.name q)
+      [@osiris.alloc_ok "cold error path: raises, never returns"])
 
 (* Timer management. A cancelled handle stays in the engine's queue until
    drained, so [Engine.reschedule] cannot re-arm it; each arming schedules
@@ -106,9 +115,14 @@ let seg t q =
 let rec arm t =
   if not t.timer_armed then begin
     t.timer_armed <- true;
-    t.timer <-
-      Some
-        (Engine.schedule t.eng ~delay:(Rto.current t.rto) (fun () -> on_rto t))
+    (t.timer <-
+       Some
+         (Engine.schedule t.eng ~delay:(Rto.current t.rto)
+            (fun () -> on_rto t))
+    [@osiris.alloc_ok
+      "arming allocates closure + handle + option: a cancelled handle \
+       stays queued until drained, so the engine's reschedule cannot \
+       reuse it — see the comment above; bounded by one arming per ack"])
   end
 
 and restart t =
@@ -159,9 +173,13 @@ and arm_probe t =
     && t.snd_nxt - t.snd_una - t.sacked_count <= t.cfg.dup_ack_threshold
   then begin
     t.probe_armed <- true;
-    t.probe <-
-      Some
-        (Engine.schedule t.eng ~delay:(probe_timeout t) (fun () -> on_probe t))
+    (t.probe <-
+       Some
+         (Engine.schedule t.eng ~delay:(probe_timeout t)
+            (fun () -> on_probe t))
+    [@osiris.alloc_ok
+      "probe arming: closure + handle + option, same engine constraint \
+       as the RTO timer; only taken on thin-pipe flows"])
   end
 
 and disarm_probe t =
@@ -200,36 +218,40 @@ and transmit t q ~retransmit =
     t.stats.retransmit_bytes <- t.stats.retransmit_bytes + s.len
   end
   else t.stats.unique_sent <- t.stats.unique_sent + 1;
-  t.tx ~seq:q ~retransmit s.payload
+  (t.tx ~seq:q ~retransmit s.payload
+  [@osiris.alloc_ok
+    "handoff to the wired transmit callback: what the datapath below \
+     allocates is its own hot-set entry's business"])
 
 (* Fill the window: transmit new segments while the flow-control window
-   and the congestion window both have room. *)
-and pump t =
-  if t.state = Active then begin
-    let continue = ref true in
-    while !continue do
-      let pipe = t.snd_nxt - t.snd_una - t.sacked_count in
-      if
-        t.snd_nxt < t.nsegs
-        && t.snd_nxt - t.snd_una < t.cfg.window
-        && float_of_int pipe < t.cwnd
-      then begin
-        transmit t t.snd_nxt ~retransmit:false;
-        t.snd_nxt <- t.snd_nxt + 1;
-        arm t;
-        arm_probe t
-      end
-      else continue := false
-    done
+   and the congestion window both have room. Tail recursion instead of a
+   [ref] flag: [ref] allocates a block per call and pump runs on every
+   ack (R5-hot via [on_ack]). *)
+and pump t = if t.state = Active then pump_loop t
+
+and pump_loop t =
+  let pipe = t.snd_nxt - t.snd_una - t.sacked_count in
+  if
+    t.snd_nxt < t.nsegs
+    && t.snd_nxt - t.snd_una < t.cfg.window
+    && float_of_int pipe < t.cc.cwnd
+  then begin
+    transmit t t.snd_nxt ~retransmit:false;
+    t.snd_nxt <- t.snd_nxt + 1;
+    arm t;
+    arm_probe t;
+    pump_loop t
   end
 
 and finish t =
   disarm t;
   disarm_probe t;
   t.state <- Finished;
-  Trace.emitf Trace.Protocol ~now:(Engine.now t.eng) "%s: finished (%d segs)"
-    t.name t.nsegs;
-  t.on_state Finished
+  ((Trace.emitf Trace.Protocol ~now:(Engine.now t.eng)
+      "%s: finished (%d segs)" t.name t.nsegs;
+    t.on_state Finished)
+  [@osiris.alloc_ok
+    "connection teardown: runs once per connection, never per ack"])
 
 and fail t reason =
   disarm t;
@@ -256,8 +278,8 @@ and on_rto t =
            t.cfg.max_retries)
     else begin
       let pipe = float_of_int (t.snd_nxt - t.snd_una - t.sacked_count) in
-      t.ssthresh <- Float.max 2.0 (pipe /. 2.0);
-      t.cwnd <- 1.0;
+      t.cc.ssthresh <- Float.max 2.0 (pipe /. 2.0);
+      t.cc.cwnd <- 1.0;
       t.stats.cwnd_cuts <- t.stats.cwnd_cuts + 1;
       Rto.backoff t.rto;
       t.recover <- t.snd_nxt;
@@ -274,8 +296,8 @@ and on_rto t =
    aggregate above the queue capacity no matter how hard ECN pushes
    back. *)
 let cut_cwnd t =
-  t.ssthresh <- Float.max 2.0 (t.cwnd /. 2.0);
-  t.cwnd <- Float.max 1.0 (t.cwnd /. 2.0);
+  t.cc.ssthresh <- Float.max 2.0 (t.cc.cwnd /. 2.0);
+  t.cc.cwnd <- Float.max 1.0 (t.cc.cwnd /. 2.0);
   t.stats.cwnd_cuts <- t.stats.cwnd_cuts + 1
 
 let create eng ?(name = "snd") ?(config = default_config)
@@ -300,8 +322,11 @@ let create eng ?(name = "snd") ?(config = default_config)
     snd_una = 0;
     snd_nxt = 0;
     sacked_count = 0;
-    cwnd = float_of_int config.init_cwnd;
-    ssthresh = float_of_int config.window;
+    cc =
+      {
+        cwnd = float_of_int config.init_cwnd;
+        ssthresh = float_of_int config.window;
+      };
     dupacks = 0;
     recover = 0;
     ece_hold_until = Time.zero;
@@ -382,7 +407,13 @@ let on_ack t ~ack ~sack ~ece =
       if t.cfg.ecn && Engine.now t.eng >= t.ece_hold_until then begin
         cut_cwnd t;
         let hold =
-          match Rto.srtt t.rto with Some s -> s | None -> t.cfg.rto_init
+          match
+            (Rto.srtt t.rto
+            [@osiris.alloc_ok
+              "option box on the once-per-RTT ECE cut path, not per ack"])
+          with
+          | Some s -> s
+          | None -> t.cfg.rto_init
         in
         t.ece_hold_until <- Engine.now t.eng + hold
       end
@@ -395,7 +426,9 @@ let on_ack t ~ack ~sack ~ece =
           Rto.sample t.rto (Engine.now t.eng - s.last_tx);
           t.stats.rtt_samples <- t.stats.rtt_samples + 1
       | _ -> ());
-      let newly = ref 0 in
+      (* [newly] is just the cumulative advance — no [ref] counter (a
+         [ref] is a heap block, and this runs per ack). *)
+      let newly = ack - t.snd_una in
       for q = t.snd_una to ack - 1 do
         let s = seg t q in
         if s.sacked then begin
@@ -403,8 +436,7 @@ let on_ack t ~ack ~sack ~ece =
           t.sacked_count <- t.sacked_count - 1
         end;
         t.stats.acked_bytes <- t.stats.acked_bytes + s.len;
-        s.payload <- Bytes.empty;
-        incr newly
+        s.payload <- Bytes.empty
       done;
       t.snd_una <- ack;
       t.dupacks <- 0;
@@ -417,14 +449,14 @@ let on_ack t ~ack ~sack ~ece =
          mark-free round-trip. *)
       if t.cfg.ecn && Engine.now t.eng < t.ece_hold_until then ()
       else begin
-        if t.cwnd < t.ssthresh then
+        if t.cc.cwnd < t.cc.ssthresh then
           (* slow start *)
-          t.cwnd <- Float.min (t.cwnd +. float_of_int !newly) t.ssthresh
+          t.cc.cwnd <- Float.min (t.cc.cwnd +. float_of_int newly) t.cc.ssthresh
         else
           (* congestion avoidance: ~one segment per window per RTT *)
-          t.cwnd <- t.cwnd +. (float_of_int !newly /. t.cwnd)
+          t.cc.cwnd <- t.cc.cwnd +. (float_of_int newly /. t.cc.cwnd)
       end;
-      t.cwnd <- Float.min t.cwnd (float_of_int t.cfg.window);
+      t.cc.cwnd <- Float.min t.cc.cwnd (float_of_int t.cfg.window);
       (* NewReno partial ack: an advance that stops short of [recover]
          exposes the next hole of the same loss episode. Resend it now —
          waiting would recover a burst loss one segment per (backed-off)
@@ -540,7 +572,7 @@ let invariants t =
       if t.timer_armed || t.probe_armed then
         bad "%s: Failed with a timer armed" t.name
   | Active ->
-      if t.cwnd < 1.0 then bad "%s: cwnd %.2f < 1" t.name t.cwnd;
+      if t.cc.cwnd < 1.0 then bad "%s: cwnd %.2f < 1" t.name t.cc.cwnd;
       if t.snd_una < t.snd_nxt && not t.timer_armed then
         bad "%s: data outstanding but no timer armed" t.name;
       if t.rto_count > t.cfg.max_retries then

@@ -1,0 +1,7 @@
+(* R1 fixture: the switch's ring pointer and EPD reservation ledger have
+   one writer (lib/switch/switch.ml); these foreign assignments must be
+   flagged. *)
+
+let poke port =
+  port.q_head <- 0;
+  port.reserved <- port.reserved + 1

@@ -1,0 +1,6 @@
+(* R1 fixture: the timer wheel's floor and freelist head belong to
+   lib/sim/wheel.ml alone; writing them from outside must be flagged. *)
+
+let poke w n =
+  w.cur <- w.cur + 1;
+  w.free <- n

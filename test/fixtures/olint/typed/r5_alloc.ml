@@ -1,0 +1,4 @@
+(* R5 fixture: [tick] is declared hot in the fixture policy but builds a
+   tuple per call — the lint must flag the construction. *)
+
+let tick a b = (a, b)

@@ -1,0 +1,10 @@
+(* R5 fixture: the escape hatch in both of its forms. The justified box
+   must be accepted; the bare [@osiris.alloc_ok] without a reason string
+   must itself be a violation. *)
+
+let tick x =
+  let ok = (Some x [@osiris.alloc_ok "fixture: justified one-off box"]) in
+  let bad = (Some x [@osiris.alloc_ok]) in
+  match ok with
+  | Some a -> a
+  | None -> ( match bad with Some b -> b | None -> x)

@@ -1,0 +1,1 @@
+val tick : int -> int

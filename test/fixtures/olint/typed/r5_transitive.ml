@@ -1,0 +1,7 @@
+(* R5 fixture: the hot function allocates nothing itself but calls a
+   sibling that does — the lint must follow the call and report the
+   allocation as reachable from the hot root. *)
+
+let boxit x = Some x
+
+let tick x = match boxit x with Some y -> y | None -> 0

@@ -1,0 +1,2 @@
+val boxit : int -> int option
+val tick : int -> int

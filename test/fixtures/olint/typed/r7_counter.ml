@@ -1,0 +1,10 @@
+(* R7 fixture: a registered counter that no conservation or accounting
+   check ever reads, and no 'uncovered' policy entry excuses. The
+   registration lives inside a function so linking this fixture into the
+   test binary leaves the global metrics registry untouched. *)
+
+module Metrics = Osiris_obs.Metrics
+
+let make () = Metrics.counter "fixture.lost_cells"
+
+let bump c = Metrics.incr c

@@ -1,0 +1,2 @@
+val make : unit -> Osiris_obs.Metrics.counter
+val bump : Osiris_obs.Metrics.counter -> unit

@@ -5,6 +5,7 @@
 
 module Policy = Osiris_analysis.Policy
 module Lint = Osiris_analysis.Lint
+module Typed = Osiris_analysis.Typed
 
 (* `dune runtest` runs with cwd = _build/default/test (fixtures copied in
    via the test deps); `dune exec test/test_main.exe` runs from the repo
@@ -22,6 +23,10 @@ let policy =
     "scan lib\n\
      own head lib/board/desc_queue.ml\n\
      own tail lib/board/desc_queue.ml\n\
+     own q_head lib/switch/switch.ml\n\
+     own reserved lib/switch/switch.ml\n\
+     own cur lib/sim/wheel.ml\n\
+     own free lib/sim/wheel.ml lib/mem/phys_mem.ml\n\
      shared irq_filter\n\
      accessor lib/board/board.ml\n"
 
@@ -83,12 +88,48 @@ let test_r3_catchall_and_exit () =
 let test_r3_allow_exemptions () =
   let exempt =
     Policy.of_string
-      (Printf.sprintf "allow catchall %s\nallow exit %s\n"
+      (Printf.sprintf
+         "allow catchall %s # test fixture\nallow exit %s # test fixture\n"
          (fixture "r3_catchall.ml")
          (fixture "r3_catchall.ml"))
   in
   Alcotest.(check (list string)) "exempted file is clean" []
     (rules (Lint.check_file exempt (fixture "r3_catchall.ml")))
+
+(* Exemption-shaped directives must carry a '# why' comment, and allow
+   keys are a closed set — a typo'd rule name must not silently grant
+   nothing (or everything). *)
+let test_exemptions_need_justification () =
+  let rejects ~what s =
+    match Policy.of_string s with
+    | exception Failure _ -> ()
+    | _ -> Alcotest.failf "%s accepted" what
+  in
+  rejects ~what:"unjustified allow" "allow catchall lib/foo.ml\n";
+  rejects ~what:"unknown allow key" "allow catchnone lib/foo.ml # why\n";
+  rejects ~what:"unjustified alloc-free" "alloc-free Float.min\n";
+  rejects ~what:"unjustified uncovered" "uncovered switch.marked\n";
+  let ok =
+    Policy.of_string
+      "allow catchall lib/foo.ml # fixture\n\
+       alloc-free Float.min # compare/select\n\
+       uncovered x.y # telemetry\n"
+  in
+  Alcotest.(check (list string)) "alloc-free parsed" [ "Float.min" ]
+    ok.Policy.alloc_free;
+  Alcotest.(check bool) "uncovered parsed" true (Policy.uncovered_ok ok "x.y")
+
+let test_hot_directive () =
+  let p = Policy.of_string "hot lib/sim/wheel.ml:add\nhot lib/atm/sar.ml:push\n" in
+  Alcotest.(check (list (pair string string)))
+    "hot entries"
+    [ ("lib/sim/wheel.ml", "add"); ("lib/atm/sar.ml", "push") ]
+    p.Policy.hot;
+  Alcotest.(check bool) "is_hot" true
+    (Policy.is_hot p ~file:"lib/sim/wheel.ml" ~fn:"add");
+  match Policy.of_string "hot lib/sim/wheel.ml\n" with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "hot without :function accepted"
 
 let test_r4_missing_mli () =
   match Lint.check_missing_mli policy (fixture "r4_missing_mli") with
@@ -108,10 +149,10 @@ let test_check_tree_over_fixtures () =
   let vs = Lint.check_tree policy [ fixture_root ] in
   let count r = List.length (List.filter (fun v -> v.Lint.rule = r) vs) in
   Alcotest.(check int) "one R0" 1 (count "R0");
-  Alcotest.(check int) "one R1" 1 (count "R1");
+  Alcotest.(check int) "R1 per foreign write" 5 (count "R1");
   Alcotest.(check int) "one R2" 1 (count "R2");
   Alcotest.(check int) "two R3" 2 (count "R3");
-  Alcotest.(check int) "R4 for every fixture .ml" 5 (count "R4");
+  Alcotest.(check int) "R4 for every .mli-less fixture .ml" 7 (count "R4");
   let files = List.map (fun v -> v.Lint.file) vs in
   Alcotest.(check (list string)) "sorted by file" (List.sort compare files)
     files;
@@ -125,6 +166,89 @@ let test_check_tree_over_fixtures () =
     true
     (contains ~affix:"r1_bad_owner.ml:5: [R1]" printed)
 
+(* ------------------------------------------------------------------ *)
+(* Typed passes (R5/R6/R7) over the compiled fixture library. The
+   fixtures are linked into this test binary, so their .cmt artifacts
+   are guaranteed to exist under the build tree by the time we run. *)
+
+let cmt_root = if Sys.file_exists "fixtures/olint" then "." else "_build/default"
+
+let typed_policy =
+  Policy.of_string
+    "scan test/fixtures/olint/typed\n\
+     hot test/fixtures/olint/typed/r5_alloc.ml:tick\n\
+     hot test/fixtures/olint/typed/r5_transitive.ml:tick\n\
+     hot test/fixtures/olint/typed/r5_hatch.ml:tick\n\
+     sim-time Engine.now\n\
+     wall-clock Unix.gettimeofday\n\
+     coverage-fn accounting\n"
+
+let test_typed_fixtures () =
+  let vs = Typed.check_tree typed_policy ~cmt_root in
+  let of_rule r = List.filter (fun v -> v.Lint.rule = r) vs in
+  Alcotest.(check int) "three R5" 3 (List.length (of_rule "R5"));
+  Alcotest.(check int) "one R6" 1 (List.length (of_rule "R6"));
+  Alcotest.(check int) "one R7" 1 (List.length (of_rule "R7"));
+  let in_file name =
+    List.filter (fun v -> Filename.basename v.Lint.file = name) vs
+  in
+  (match in_file "r5_alloc.ml" with
+  | [ v ] ->
+      Alcotest.(check bool) "direct allocation flagged" true
+        (contains ~affix:"tuple construction" v.Lint.message)
+  | vs -> Alcotest.failf "r5_alloc: expected 1 violation, got %d"
+            (List.length vs));
+  (match in_file "r5_transitive.ml" with
+  | [ v ] ->
+      Alcotest.(check bool) "reported in the callee" true
+        (contains ~affix:"boxit" v.Lint.message);
+      Alcotest.(check bool) "names the hot root" true
+        (contains ~affix:"hot via" v.Lint.message)
+  | vs -> Alcotest.failf "r5_transitive: expected 1 violation, got %d"
+            (List.length vs));
+  (match in_file "r5_hatch.ml" with
+  | [ v ] ->
+      (* the justified box is accepted; only the bare attribute fires *)
+      Alcotest.(check bool) "bare escape hatch flagged" true
+        (contains ~affix:"justification" v.Lint.message)
+  | vs -> Alcotest.failf "r5_hatch: expected 1 violation, got %d"
+            (List.length vs));
+  (match in_file "r6_mix.ml" with
+  | [ v ] ->
+      Alcotest.(check string) "rule" "R6" v.Lint.rule;
+      Alcotest.(check bool) "names the mixing operator" true
+        (contains ~affix:"wall-clock" v.Lint.message)
+  | vs -> Alcotest.failf "r6_mix: expected 1 violation, got %d"
+            (List.length vs));
+  match in_file "r7_counter.ml" with
+  | [ v ] ->
+      Alcotest.(check string) "rule" "R7" v.Lint.rule;
+      Alcotest.(check bool) "names the counter" true
+        (contains ~affix:"fixture.lost_cells" v.Lint.message)
+  | vs ->
+      Alcotest.failf "r7_counter: expected 1 violation, got %d"
+        (List.length vs)
+
+(* The stale-policy rot guard: a hot entry pointing at a function that
+   no longer exists must itself be a violation, not a silent no-op. *)
+let test_typed_stale_hot_entry () =
+  let p =
+    Policy.of_string
+      "scan test/fixtures/olint/typed\n\
+       hot test/fixtures/olint/typed/r5_alloc.ml:gone\n\
+       hot test/fixtures/olint/typed/no_such_file.ml:tick\n"
+  in
+  let vs =
+    List.filter (fun v -> v.Lint.rule = "R5") (Typed.check_tree p ~cmt_root)
+  in
+  Alcotest.(check int) "both stale entries flagged" 2 (List.length vs);
+  List.iter
+    (fun v ->
+      Alcotest.(check string) "rule" "R5" v.Lint.rule;
+      Alcotest.(check bool) "message says stale" true
+        (contains ~affix:"hot entry" v.Lint.message))
+    vs
+
 let suite =
   [
     Alcotest.test_case "policy parses and answers queries" `Quick
@@ -136,9 +260,17 @@ let suite =
       test_r3_catchall_and_exit;
     Alcotest.test_case "R3: allow-listed file is exempt" `Quick
       test_r3_allow_exemptions;
+    Alcotest.test_case "exemptions need justification; allow keys closed"
+      `Quick test_exemptions_need_justification;
+    Alcotest.test_case "hot directive parses and answers is_hot" `Quick
+      test_hot_directive;
     Alcotest.test_case "R4: missing .mli" `Quick test_r4_missing_mli;
     Alcotest.test_case "R0: unparsable file reported" `Quick
       test_r0_unparsable;
     Alcotest.test_case "check_tree covers every rule, sorted" `Quick
       test_check_tree_over_fixtures;
+    Alcotest.test_case "R5/R6/R7: typed passes catch the seeded fixtures"
+      `Quick test_typed_fixtures;
+    Alcotest.test_case "R5: stale hot entries are violations" `Quick
+      test_typed_stale_hot_entry;
   ]

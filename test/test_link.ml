@@ -94,8 +94,8 @@ let test_fifo_overflow_drops () =
   Engine.run eng;
   let st = Atm_link.stats link in
   Alcotest.(check bool) "drops counted" true (st.Atm_link.dropped_fifo > 0);
-  Alcotest.(check int) "conservation" st.Atm_link.sent
-    (st.Atm_link.delivered + st.Atm_link.dropped_fifo + st.Atm_link.dropped_net)
+  Alcotest.(check int) "conservation" (Atm_link.offered link)
+    (List.fold_left (fun a (_, n) -> a + n) 0 (Atm_link.conservation link))
 
 let test_corruption_injection () =
   let eng = Engine.create () in
@@ -123,7 +123,7 @@ let test_drop_injection () =
   Engine.run ~until:1_000_000_000 eng;
   let st = Atm_link.stats link in
   let frac =
-    float_of_int st.Atm_link.dropped_net /. float_of_int st.Atm_link.sent
+    float_of_int st.Atm_link.dropped_net /. float_of_int st.Atm_link.cells_sent
   in
   Alcotest.(check bool)
     (Printf.sprintf "drop fraction %.2f near 0.5" frac)
