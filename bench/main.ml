@@ -14,7 +14,8 @@
      dune exec bench/main.exe            # everything (slow: full figures)
      dune exec bench/main.exe quick      # tables + ablations only
      dune exec bench/main.exe <id>       # one experiment (see `list`)
-     dune exec bench/main.exe micro      # Bechamel micro-benchmarks only *)
+     dune exec bench/main.exe micro      # Bechamel micro-benchmarks only
+     dune exec bench/main.exe -- --list  # schema version + figure ids *)
 
 open Bechamel
 open Toolkit
@@ -204,6 +205,14 @@ let write_bench_json ~mode ~experiments ~micro =
 let () =
   let mode = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
   match mode with
+  | "--list" ->
+      (* machine-oriented variant of `list`: leads with the BENCH.json
+         schema tag so CI can pin against it, then one line per entry. *)
+      Printf.printf "schema %s\n" Report.schema;
+      List.iter
+        (fun (e : Registry.entry) ->
+          Printf.printf "%-24s %s\n" e.Registry.id e.Registry.description)
+        Registry.all
   | "list" ->
       List.iter
         (fun (e : Registry.entry) ->

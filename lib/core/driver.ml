@@ -74,6 +74,7 @@ type t = {
   buf_size : int;
   pool : int Queue.t; (* idle buffer vaddrs *)
   by_paddr : (int, int) Hashtbl.t; (* buffer paddr -> vaddr *)
+  mutable replenishing : bool; (* one replenisher at a time; see below *)
   mutable outstanding : int;
   tx_lock : Resource.t; (* serializes concurrent senders' descriptor chains *)
   rx_sig : Signal.t;
@@ -112,6 +113,7 @@ let create ~cpu ~cache ~wiring ~board ~channel ~vs ~costs ~demux ~invalidation
       invalidation;
       buf_size;
       pool = Queue.create ();
+      replenishing = false;
       outstanding = 0;
       tx_lock = Resource.create (Board.engine board) ~capacity:1;
       by_paddr = Hashtbl.create 64;
@@ -152,24 +154,39 @@ let free_desc_of t vaddr =
 
 (* Keep the free queue stocked from the pool (no cost beyond the queue's
    own PIO accounting; runs in the calling process). Take the buffer out
-   of the pool before the (suspending) enqueue: several processes can be
-   replenishing at once (init, receive thread, disposal finalizers), and a
-   peek-then-pop discipline would hand the same buffer out twice. *)
+   of the pool before the (suspending) enqueue: several processes can
+   call this at once (init, receive thread, disposal finalizers), and a
+   peek-then-pop discipline would hand the same buffer out twice.
+
+   Only one of them may actually drive the enqueue loop: the host is the
+   free queue's single writer, and [host_enqueue] charges PIO time — a
+   suspension point — between its fullness check, its slot store and its
+   head-pointer publish. Two interleaved enqueuers would store into the
+   same slot (leaking one buffer) and advance the head twice (leaving a
+   hole the board later reads as empty). The active replenisher re-polls
+   the pool after every enqueue, so buffers recycled by the processes
+   that found the flag set are picked up before it exits. *)
 let replenish_free_queue t =
-  let continue = ref true in
-  while !continue do
-    match Queue.take_opt t.pool with
-    | None -> continue := false
-    | Some vaddr ->
-        if
-          not
-            (Desc_queue.host_enqueue (Board.free_queue t.channel)
-               (free_desc_of t vaddr))
-        then begin
-          Queue.add vaddr t.pool;
-          continue := false
-        end
-  done
+  if not t.replenishing then begin
+    t.replenishing <- true;
+    Fun.protect
+      ~finally:(fun () -> t.replenishing <- false)
+      (fun () ->
+        let continue = ref true in
+        while !continue do
+          match Queue.take_opt t.pool with
+          | None -> continue := false
+          | Some vaddr ->
+              if
+                not
+                  (Desc_queue.host_enqueue (Board.free_queue t.channel)
+                     (free_desc_of t vaddr))
+              then begin
+                Queue.add vaddr t.pool;
+                continue := false
+              end
+        done)
+  end
 
 let recycle t vaddrs =
   t.outstanding <- t.outstanding - List.length vaddrs;

@@ -2,6 +2,8 @@ module Atm_link = Osiris_link.Atm_link
 module Board = Osiris_board.Board
 module Rng = Osiris_util.Rng
 module Switch = Osiris_switch.Switch
+module Spec = Osiris_topo.Spec
+module Builder = Osiris_topo.Builder
 
 type t = {
   a : Host.t;
@@ -48,10 +50,19 @@ type topology = {
   switches : Switch.t array;
   trunk_ports : int option array;
   trunks : Atm_link.t array;
+  fabric : Builder.fabric;
   mutable next_vci : int;
 }
 
 type vc = { vc_src : int; vc_dst : int; src_vci : int; dst_vci : int }
+
+type mvc = {
+  mv_src : int;
+  mv_dst : int;
+  src_vcis : int array;
+  dst_vcis : int array;
+  mv_paths : Builder.hop list array;
+}
 
 (* First VCI handed out by [open_vc]: clear of the kernel IP VCI (5) and
    of the small raw VCIs the test suites bind by hand. *)
@@ -59,6 +70,13 @@ let first_user_vci = 32
 
 let host topo i = topo.endpoints.(i).host
 let nhosts topo = Array.length topo.endpoints
+let fabric topo = topo.fabric
+let spec topo = topo.fabric.Builder.f_spec
+
+let trunk_links topo i =
+  if i < 0 || 2 * i + 1 >= Array.length topo.trunks then
+    invalid_arg "Network.trunk_links: trunk out of range";
+  (topo.trunks.(2 * i), topo.trunks.((2 * i) + 1))
 
 let fresh_vci topo =
   let v = topo.next_vci in
@@ -81,102 +99,147 @@ let make_endpoint eng machine config link rng sw sw_idx ~port ~index =
   Host.start host;
   { host; to_fabric; from_fabric; sw = sw_idx; port }
 
+(* Stand a wiring plan up: engine, switches (in index order), hosts (in
+   index order, two RNG splits each), trunk link pairs (in trunk order,
+   a->b before b->a), then start every switch. The order is load-bearing:
+   it reproduces the RNG stream and creation sequence of the historical
+   hand-rolled star/chain constructors exactly. *)
+let instantiate ?backend ?(machine = Machine.ds5000_200)
+    ?(config = Host.default_config) ?(link = Atm_link.default_config)
+    ?trunk_link ?(switch = Switch.default_config) ?(seed = 7) fabric =
+  let eng = Osiris_sim.Engine.create ?backend () in
+  let switches =
+    Array.init (Builder.nswitches fabric) (fun s ->
+        Switch.create eng
+          ~name:fabric.Builder.switch_names.(s)
+          { switch with Switch.nports = fabric.Builder.switch_nports.(s) })
+  in
+  let rng = Rng.create ~seed in
+  let endpoints =
+    Array.init (Builder.nhosts fabric) (fun i ->
+        let p = fabric.Builder.hosts.(i) in
+        make_endpoint eng machine config link rng
+          switches.(p.Builder.pr_sw)
+          p.Builder.pr_sw ~port:p.Builder.pr_port ~index:i)
+  in
+  let tl = match trunk_link with Some l -> l | None -> link in
+  let trunks =
+    Array.concat
+      (Array.to_list
+         (Array.map
+            (fun (t : Builder.trunk) ->
+              let a = t.Builder.t_a and b = t.Builder.t_b in
+              let l_ab = Atm_link.create eng (Rng.split rng) tl in
+              let l_ba = Atm_link.create eng (Rng.split rng) tl in
+              Switch.attach_port switches.(a.Builder.pr_sw)
+                ~port:a.Builder.pr_port ~ingress:l_ba ~egress:l_ab;
+              Switch.attach_port switches.(b.Builder.pr_sw)
+                ~port:b.Builder.pr_port ~ingress:l_ab ~egress:l_ba;
+              [| l_ab; l_ba |])
+            fabric.Builder.trunks))
+  in
+  let trunk_ports =
+    Array.init (Builder.nswitches fabric) (fun s ->
+        Array.fold_left
+          (fun acc (t : Builder.trunk) ->
+            match acc with
+            | Some _ -> acc
+            | None ->
+                if t.Builder.t_a.Builder.pr_sw = s then
+                  Some t.Builder.t_a.Builder.pr_port
+                else if t.Builder.t_b.Builder.pr_sw = s then
+                  Some t.Builder.t_b.Builder.pr_port
+                else None)
+          None fabric.Builder.trunks)
+  in
+  Array.iter Switch.start switches;
+  ( eng,
+    {
+      endpoints;
+      switches;
+      trunk_ports;
+      trunks;
+      fabric;
+      next_vci = first_user_vci;
+    } )
+
 let star ?backend ?(n = 3) ?(machine = Machine.ds5000_200)
     ?(config = Host.default_config) ?(link = Atm_link.default_config)
     ?(switch = Switch.default_config) ?(seed = 7) () =
   if n < 2 then invalid_arg "Network.star: need at least 2 hosts";
-  let eng = Osiris_sim.Engine.create ?backend () in
-  let sw = Switch.create eng ~name:"sw0" { switch with Switch.nports = n } in
-  let rng = Rng.create ~seed in
-  let endpoints =
-    Array.init n (fun i ->
-        make_endpoint eng machine config link rng sw 0 ~port:i ~index:i)
-  in
-  Switch.start sw;
-  ( eng,
-    {
-      endpoints;
-      switches = [| sw |];
-      trunk_ports = [| None |];
-      trunks = [||];
-      next_vci = first_user_vci;
-    } )
+  instantiate ?backend ~machine ~config ~link ~switch ~seed
+    (Builder.build (Spec.Star { hosts = n }))
 
 let chain ?(n = 4) ?(machine = Machine.ds5000_200)
     ?(config = Host.default_config) ?(link = Atm_link.default_config)
     ?(switch = Switch.default_config) ?(seed = 7) () =
   if n < 2 then invalid_arg "Network.chain: need at least 2 hosts";
-  let eng = Osiris_sim.Engine.create () in
-  let h0 = (n + 1) / 2 in
-  (* hosts on sw0; the rest sit on sw1 *)
-  let h1 = n - h0 in
-  let trunk0 = h0 and trunk1 = h1 in
-  let sw0 =
-    Switch.create eng ~name:"sw0" { switch with Switch.nports = h0 + 1 }
-  in
-  let sw1 =
-    Switch.create eng ~name:"sw1" { switch with Switch.nports = h1 + 1 }
-  in
-  let rng = Rng.create ~seed in
-  let endpoints =
-    Array.init n (fun i ->
-        if i < h0 then
-          make_endpoint eng machine config link rng sw0 0 ~port:i ~index:i
-        else
-          make_endpoint eng machine config link rng sw1 1 ~port:(i - h0)
-            ~index:i)
-  in
-  (* The inter-switch trunk: one striped link per direction, each the
-     egress of one switch and the ingress of the other. *)
-  let trunk_01 = Atm_link.create eng (Rng.split rng) link in
-  let trunk_10 = Atm_link.create eng (Rng.split rng) link in
-  Switch.attach_port sw0 ~port:trunk0 ~ingress:trunk_10 ~egress:trunk_01;
-  Switch.attach_port sw1 ~port:trunk1 ~ingress:trunk_01 ~egress:trunk_10;
-  Switch.start sw0;
-  Switch.start sw1;
-  ( eng,
-    {
-      endpoints;
-      switches = [| sw0; sw1 |];
-      trunk_ports = [| Some trunk0; Some trunk1 |];
-      trunks = [| trunk_01; trunk_10 |];
-      next_vci = first_user_vci;
-    } )
+  instantiate ~machine ~config ~link ~switch ~seed
+    (Builder.build (Spec.Chain { hosts = n }))
 
-let open_vc topo ~src ~dst =
+let leaf_spine ?backend ?(leaves = 2) ?(spines = 2) ?(hosts_per_leaf = 2)
+    ?(machine = Machine.ds5000_200) ?(config = Host.default_config)
+    ?(link = Atm_link.default_config) ?trunk_link
+    ?(switch = Switch.default_config) ?(seed = 7) () =
+  instantiate ?backend ~machine ~config ~link ?trunk_link ~switch ~seed
+    (Builder.build (Spec.Leaf_spine { leaves; spines; hosts_per_leaf }))
+
+let fat_tree ?backend ?(k = 4) ?(hosts_per_edge = 1)
+    ?(machine = Machine.ds5000_200) ?(config = Host.default_config)
+    ?(link = Atm_link.default_config) ?trunk_link
+    ?(switch = Switch.default_config) ?(seed = 7) () =
+  instantiate ?backend ~machine ~config ~link ?trunk_link ~switch ~seed
+    (Builder.build (Spec.Fat_tree { k; hosts_per_edge }))
+
+(* Program one path's per-hop routes, allocating a fresh VCI per hop;
+   returns the final (receiver-side) VCI. *)
+let add_path_routes topo path ~src_vci =
+  List.fold_left
+    (fun in_vci (h : Builder.hop) ->
+      let out_vci = fresh_vci topo in
+      Switch.add_route topo.switches.(h.Builder.h_sw) ~in_port:h.Builder.h_in
+        ~in_vci ~out_port:h.Builder.h_out ~out_vci;
+      out_vci)
+    src_vci path
+
+let check_endpoints topo ~what ~src ~dst =
   let nh = nhosts topo in
   if src < 0 || src >= nh || dst < 0 || dst >= nh || src = dst then
-    invalid_arg "Network.open_vc: bad endpoints";
-  let s = topo.endpoints.(src) and d = topo.endpoints.(dst) in
-  let src_vci = fresh_vci topo in
-  let dst_vci =
-    if s.sw = d.sw then begin
-      let out_vci = fresh_vci topo in
-      Switch.add_route topo.switches.(s.sw) ~in_port:s.port ~in_vci:src_vci
-        ~out_port:d.port ~out_vci;
-      out_vci
-    end
-    else begin
-      let trunk_vci = fresh_vci topo in
-      let out_vci = fresh_vci topo in
-      let trunk_s =
-        match topo.trunk_ports.(s.sw) with
-        | Some p -> p
-        | None -> invalid_arg "Network.open_vc: source switch has no trunk"
-      in
-      let trunk_d =
-        match topo.trunk_ports.(d.sw) with
-        | Some p -> p
-        | None ->
-            invalid_arg "Network.open_vc: destination switch has no trunk"
-      in
-      Switch.add_route topo.switches.(s.sw) ~in_port:s.port ~in_vci:src_vci
-        ~out_port:trunk_s ~out_vci:trunk_vci;
-      Switch.add_route topo.switches.(d.sw) ~in_port:trunk_d
-        ~in_vci:trunk_vci ~out_port:d.port ~out_vci;
-      out_vci
-    end
+    invalid_arg (Printf.sprintf "Network.%s: bad endpoints" what)
+
+let open_vc topo ~src ~dst =
+  check_endpoints topo ~what:"open_vc" ~src ~dst;
+  match Builder.paths topo.fabric ~src ~dst with
+  | [] -> invalid_arg "Network.open_vc: no path between endpoints"
+  | path :: _ ->
+      let d = topo.endpoints.(dst) in
+      let src_vci = fresh_vci topo in
+      let dst_vci = add_path_routes topo path ~src_vci in
+      Board.bind_vci d.host.Host.board ~vci:dst_vci
+        (Board.kernel_channel d.host.Host.board);
+      { vc_src = src; vc_dst = dst; src_vci; dst_vci }
+
+let open_vc_paths ?limit topo ~src ~dst =
+  check_endpoints topo ~what:"open_vc_paths" ~src ~dst;
+  let all = Builder.paths topo.fabric ~src ~dst in
+  let all =
+    match limit with
+    | None -> all
+    | Some n ->
+        if n < 1 then invalid_arg "Network.open_vc_paths: limit < 1";
+        List.filteri (fun i _ -> i < n) all
   in
-  Board.bind_vci d.host.Host.board ~vci:dst_vci
-    (Board.kernel_channel d.host.Host.board);
-  { vc_src = src; vc_dst = dst; src_vci; dst_vci }
+  if all = [] then invalid_arg "Network.open_vc_paths: no path";
+  let d = topo.endpoints.(dst) in
+  let mv_paths = Array.of_list all in
+  let n = Array.length mv_paths in
+  let src_vcis = Array.make n 0 and dst_vcis = Array.make n 0 in
+  for p = 0 to n - 1 do
+    let src_vci = fresh_vci topo in
+    let dst_vci = add_path_routes topo mv_paths.(p) ~src_vci in
+    Board.bind_vci d.host.Host.board ~vci:dst_vci
+      (Board.kernel_channel d.host.Host.board);
+    src_vcis.(p) <- src_vci;
+    dst_vcis.(p) <- dst_vci
+  done;
+  { mv_src = src; mv_dst = dst; src_vcis; dst_vcis; mv_paths }

@@ -62,6 +62,7 @@ val run :
   ?marking:bool ->
   ?bytes_per_sender:int ->
   ?seed:int ->
+  ?machine:Osiris_core.Machine.t ->
   ?config:Osiris_transport.Sender.config ->
   ?plan:Osiris_fault.Plan.t ->
   ?cap:Osiris_sim.Time.t ->
@@ -70,7 +71,8 @@ val run :
 (** One transfer: [senders] hosts each push [bytes_per_sender] through
     their own reliable connection to host 0, all crossing the same
     switch output port ([queue_cells] deep; [marking] sets the threshold
-    to [max 2 (queue_cells / 3)]). The switch runs early/partial packet
+    to [max 2 (queue_cells / 3)]). [machine] (default {!small_machine})
+    profiles every host. The switch runs early/partial packet
     discard sized to one segment PDU, so contention sheds whole PDUs
     (clean losses the sack machinery recovers in a round trip) instead
     of cutting cells out of the middle of them. [plan] additionally arms
@@ -88,11 +90,13 @@ val goodput_ratio : baseline:outcome -> outcome -> float
 
 val figure_retransmits_vs_queue :
   ?senders:int -> ?bytes_per_sender:int -> unit -> Report.figure
-(** The BENCH figure (marking off vs on vs lossless baseline). Raises
-    [Failure] if any run violates an invariant, if a marking-on run's
-    goodput falls below 90% of the baseline, or if marking-on
-    retransmitted bytes fail to decrease (within noise) as the queue
-    grows. *)
+(** The BENCH figure (marking off vs on vs lossless baseline), plus one
+    64-sender marking-on point at a fan-in-scaled queue — the [senders]
+    series is untouched; the wide point's bar is byte-exact delivery
+    with zero violations. Raises [Failure] if any run violates an
+    invariant, if a marking-on run's goodput falls below 90% of the
+    baseline, or if marking-on retransmitted bytes fail to decrease
+    (within noise) as the queue grows. *)
 
 val soak :
   ?seeds:int ->

@@ -123,6 +123,14 @@ let all =
       kind = Figure (fun () -> Congestion.figure_retransmits_vs_queue ());
     };
     {
+      id = "multipath";
+      description =
+        "fabric: permutation + incast on an 8-pod fat-tree; REPS recycled-\
+         entropy spraying vs static-hash ECMP vs single path, mid-run trunk \
+         cut rerouted within 100us simulated";
+      kind = Figure (fun () -> Multipath.figure ());
+    };
+    {
       id = "engine_speed";
       description =
         "simulator: engine events/sec on a 1M-event star workload, timer \
@@ -136,7 +144,8 @@ let quick =
     (fun e ->
       not
         (List.mem e.id
-           [ "figure2"; "figure3"; "figure4"; "incast"; "congestion"; "engine_speed" ]))
+           [ "figure2"; "figure3"; "figure4"; "incast"; "congestion";
+             "multipath"; "engine_speed" ]))
     all
 
 let find id = List.find_opt (fun e -> e.id = id) all

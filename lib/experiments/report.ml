@@ -104,10 +104,12 @@ let figure_json f =
       ("paper_note", Json.String f.paper_note);
     ]
 
+let schema = "osiris-bench/7"
+
 let bench_json ~mode ~experiments ~micro =
   Json.Assoc
     [
-      ("schema", Json.String "osiris-bench/6");
+      ("schema", Json.String schema);
       ("mode", Json.String mode);
       ( "experiments",
         Json.List

@@ -198,3 +198,92 @@ let disarm_fabric t =
   end
 
 let fabric_plan t = t.f_plan
+
+(* ------------------------------------------------------------------ *)
+(* Topology faults: the dimensions that address a generated fabric as a
+   whole — [swflap#S.P] storms port P of switch S, [trunkdown#T] cuts
+   every striped channel of both directed links of trunk T, and
+   [trunkloss] raises the drop probability of every trunk link. One
+   injector per topology, alongside per-host link injectors. *)
+
+type topo = {
+  t_eng : Engine.t;
+  t_plan : Plan.t;
+  t_switches : Switch.t array;
+  t_trunks : Atm_link.t array; (* two directed links per trunk, flat *)
+  t_trunk_base : float array;
+  mutable t_armed : bool;
+  t_events : Metrics.counter;
+}
+
+let apply_topology t now =
+  let k = Plan.knobs_at t.t_plan now in
+  Array.iteri
+    (fun s sw ->
+      let nports = (Switch.config sw).Switch.nports in
+      for p = 0 to nports - 1 do
+        Switch.set_port_state sw ~port:p
+          (not (List.mem (s, p) k.Plan.k_sw_port_down))
+      done)
+    t.t_switches;
+  Array.iteri
+    (fun i link ->
+      Atm_link.set_drop_prob link
+        (Float.max t.t_trunk_base.(i) k.Plan.k_trunk_loss);
+      let up = not (List.mem (i / 2) k.Plan.k_trunk_down) in
+      for l = 0 to (Atm_link.config link).Atm_link.nlinks - 1 do
+        Atm_link.set_link_state link ~link:l up
+      done)
+    t.t_trunks
+
+let inject_topology eng ~plan ~switches ~trunks () =
+  let t =
+    {
+      t_eng = eng;
+      t_plan = plan;
+      t_switches = switches;
+      t_trunks = trunks;
+      t_trunk_base =
+        Array.map (fun l -> (Atm_link.config l).Atm_link.drop_prob) trunks;
+      t_armed = true;
+      t_events = Metrics.counter "fault.topology_events";
+    }
+  in
+  Trace.emitf Trace.Fault ~now:(Engine.now eng) "inject topology plan [%s]"
+    (Plan.to_string plan);
+  let now = Engine.now eng in
+  List.iter
+    (fun time ->
+      if time > now then
+        ignore
+          (Engine.schedule_at eng ~time (fun () ->
+               if t.t_armed then begin
+                 Metrics.incr t.t_events;
+                 apply_topology t time
+               end)))
+    (Plan.boundaries plan);
+  apply_topology t now;
+  t
+
+let disarm_topology t =
+  if t.t_armed then begin
+    t.t_armed <- false;
+    Array.iter
+      (fun sw ->
+        let nports = (Switch.config sw).Switch.nports in
+        for p = 0 to nports - 1 do
+          Switch.set_port_state sw ~port:p true
+        done)
+      t.t_switches;
+    Array.iteri
+      (fun i link ->
+        Atm_link.set_drop_prob link t.t_trunk_base.(i);
+        for l = 0 to (Atm_link.config link).Atm_link.nlinks - 1 do
+          Atm_link.set_link_state link ~link:l true
+        done)
+      t.t_trunks;
+    Trace.emitf Trace.Fault ~now:(Engine.now t.t_eng)
+      "topology injector disarmed"
+  end
+
+let topology_plan t = t.t_plan

@@ -67,3 +67,32 @@ val disarm_fabric : fabric -> unit
     probabilities; pending boundary events become no-ops. *)
 
 val fabric_plan : fabric -> Plan.t
+
+(** {2 Topology faults}
+
+    The plan's fabric-wide dimensions over a {e generated} topology:
+    [swflap#S.P@a-b=hp] storms port [P] of switch [S],
+    [trunkdown#T@a-b] cuts every striped channel of both directed links
+    of trunk [T] for the window, and [trunkloss@a-b=p] raises the
+    cell-drop probability of every trunk link at once. *)
+
+type topo
+
+val inject_topology :
+  Osiris_sim.Engine.t ->
+  plan:Plan.t ->
+  switches:Osiris_switch.Switch.t array ->
+  trunks:Osiris_link.Atm_link.t array ->
+  unit ->
+  topo
+(** Arm the plan's topology dimensions on a whole generated fabric —
+    [switches] and [trunks] straight from
+    {!Osiris_core.Network.topology} ([trunks] holds the two directed
+    links of plan trunk [i] at [2i] and [2i+1]). *)
+
+val disarm_topology : topo -> unit
+(** Raise every port of every switch, restore every trunk link's
+    configured drop probability and carrier; pending boundary events
+    become no-ops. *)
+
+val topology_plan : topo -> Plan.t

@@ -18,6 +18,8 @@ type t = {
   flap : (int * window * Time.t) list;
   port_flap : (int * window * Time.t) list;
   trunk_loss : burst list;
+  sw_flap : (int * int * window * Time.t) list;
+  trunk_down : (int * window) list;
 }
 
 let none =
@@ -35,6 +37,8 @@ let none =
     flap = [];
     port_flap = [];
     trunk_loss = [];
+    sw_flap = [];
+    trunk_down = [];
   }
 
 type knobs = {
@@ -52,6 +56,11 @@ type knobs = {
   k_free_starve : int list;  (* channels whose free queue is withheld *)
   k_port_down : int list;  (* switch output ports with the carrier cut *)
   k_trunk_loss : float;  (* cell-drop probability on inter-switch trunks *)
+  k_sw_port_down : (int * int) list;
+      (* (switch, port) pairs with the carrier cut — the topology-wide
+         form of [k_port_down], addressing a port of a named switch in a
+         generated fabric *)
+  k_trunk_down : int list;  (* fabric trunk indices whose links are cut *)
 }
 
 (* A flapping link is down on even half-periods of its storm window:
@@ -121,6 +130,18 @@ let knobs_at t now =
              if flap_is_down (w, hp) now then Some p else None)
            t.port_flap);
     k_trunk_loss = active_prob t.trunk_loss now;
+    k_sw_port_down =
+      List.sort_uniq compare
+        (List.filter_map
+           (fun (s, p, w, hp) ->
+             if flap_is_down (w, hp) now then Some (s, p) else None)
+           t.sw_flap);
+    k_trunk_down =
+      List.sort_uniq compare
+        (List.filter_map
+           (fun (tr, w) ->
+             if now >= w.w_from && now < w.w_until then Some tr else None)
+           t.trunk_down);
   }
 
 let boundaries t =
@@ -154,6 +175,8 @@ let boundaries t =
       List.concat_map of_flap t.flap;
       List.concat_map (fun (p, w, hp) -> of_flap (p, w, hp)) t.port_flap;
       List.concat_map of_burst t.trunk_loss;
+      List.concat_map (fun (_, _, w, hp) -> of_flap ((), w, hp)) t.sw_flap;
+      List.concat_map (fun (_, w) -> of_window w) t.trunk_down;
     ]
   |> List.sort_uniq compare
 
@@ -196,6 +219,8 @@ let random ?(nlinks = 4) ~seed ~horizon () =
     flap = [];
     port_flap = [];
     trunk_loss = [];
+    sw_flap = [];
+    trunk_down = [];
   }
 
 (* ------------------------------------------------------------------ *)
@@ -234,7 +259,15 @@ let to_string t =
         (fun (p, w, hp) ->
           Printf.sprintf "portflap#%d@%d-%d=%d" p w.w_from w.w_until hp)
         t.port_flap
-    @ List.map (sprint_burst "trunkloss") t.trunk_loss)
+    @ List.map (sprint_burst "trunkloss") t.trunk_loss
+    @ List.map
+        (fun (s, p, w, hp) ->
+          Printf.sprintf "swflap#%d.%d@%d-%d=%d" s p w.w_from w.w_until hp)
+        t.sw_flap
+    @ List.map
+        (fun (tr, w) ->
+          Printf.sprintf "trunkdown#%d@%d-%d" tr w.w_from w.w_until)
+        t.trunk_down)
 
 let parse_time s =
   let num mult suffix =
@@ -269,15 +302,22 @@ let of_string s =
           match String.index_opt key '#' with
           | Some i ->
               (String.sub key 0 i,
-               Some
-                 (int_of_string
-                    (String.sub key (i + 1) (String.length key - i - 1))))
+               Some (String.sub key (i + 1) (String.length key - i - 1)))
           | None -> (key, None)
         in
         let req_arg () =
           match arg with
-          | Some a -> a
+          | Some a -> int_of_string a
           | None -> failwith ("Fault_plan: missing #channel in " ^ part)
+        in
+        (* swflap addresses a port of a named switch: "#switch.port" *)
+        let req_sw_port () =
+          match arg with
+          | Some a -> (
+              match String.split_on_char '.' a with
+              | [ s; p ] -> (int_of_string s, int_of_string p)
+              | _ -> failwith ("Fault_plan: bad #switch.port in " ^ part))
+          | None -> failwith ("Fault_plan: missing #switch.port in " ^ part)
         in
         match key with
         | _ when String.length key >= 5 && String.sub key 0 5 = "seed=" ->
@@ -296,7 +336,11 @@ let of_string s =
                   | "dup", _ -> { !t with duplicate = !t.duplicate @ [ b ] }
                   | _, Some ch ->
                       (* irqloss#ch: interrupt loss for one ADC channel *)
-                      { !t with irq_loss_ch = !t.irq_loss_ch @ [ (ch, b) ] }
+                      {
+                        !t with
+                        irq_loss_ch =
+                          !t.irq_loss_ch @ [ (int_of_string ch, b) ];
+                      }
                   | _, None -> { !t with irq_loss = !t.irq_loss @ [ b ] })
             | _ -> failwith ("Fault_plan: bad burst " ^ part))
         | "down" ->
@@ -333,6 +377,26 @@ let of_string s =
                       @ [ (req_arg (), { w_from; w_until }, parse_time hp) ];
                   }
             | _ -> failwith ("Fault_plan: bad portflap " ^ part))
+        | "swflap" -> (
+            match String.split_on_char '=' rest with
+            | [ range; hp ] ->
+                let w_from, w_until = parse_range range in
+                let s, p = req_sw_port () in
+                t :=
+                  {
+                    !t with
+                    sw_flap =
+                      !t.sw_flap
+                      @ [ (s, p, { w_from; w_until }, parse_time hp) ];
+                  }
+            | _ -> failwith ("Fault_plan: bad swflap " ^ part))
+        | "trunkdown" ->
+            let w_from, w_until = parse_range rest in
+            t :=
+              {
+                !t with
+                trunk_down = !t.trunk_down @ [ (req_arg (), { w_from; w_until }) ];
+              }
         | "trunkloss" -> (
             match String.split_on_char '=' rest with
             | [ range; p ] ->

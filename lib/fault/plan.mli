@@ -63,6 +63,16 @@ type t = {
       (** cell-drop bursts on the inter-switch trunk links of a chain
           topology ([trunkloss@a-b=p]); applied by
           {!Injector.inject_fabric} *)
+  sw_flap : (int * int * window * Osiris_sim.Time.t) list;
+      (** (switch, port, storm window, half-period): the topology-wide
+          form of [port_flap], addressing one port of one switch in a
+          generated fabric ([swflap#S.P@a-b=hp]); applied by
+          {!Injector.inject_topology} *)
+  trunk_down : (int * window) list;
+      (** (trunk index, outage window): a clean bidirectional cut of one
+          fabric trunk — all striped channels of both directed links down
+          for the window ([trunkdown#T@a-b]); applied by
+          {!Injector.inject_topology} *)
 }
 
 val none : t
@@ -87,6 +97,10 @@ type knobs = {
       (** switch output ports down right now (down half-periods of
           port-flap storms) *)
   k_trunk_loss : float;  (** trunk cell-drop probability right now *)
+  k_sw_port_down : (int * int) list;
+      (** (switch, port) pairs down right now (down half-periods of
+          swflap storms) *)
+  k_trunk_down : int list;  (** fabric trunks cut right now *)
 }
 
 val knobs_at : t -> Osiris_sim.Time.t -> knobs

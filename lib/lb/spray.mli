@@ -1,0 +1,74 @@
+(** Multipath transport glue: one reliable connection sprayed across the
+    equal-cost path set of a generated fabric.
+
+    The unipath glue ([Osiris_transport.Transport]) binds one data VC
+    and one ack VC. Spray instead opens one complete VCI chain per
+    equal-cost path ({!Osiris_core.Network.open_vc_paths}) and picks a
+    path {e per PDU} at transmission time. Because every path is its own
+    VCI, cells of PDUs in flight on different paths never interleave
+    within a VCI, so the board's striped reassembly is untouched; the
+    receiver learns a PDU's path from which VCI delivered it and echoes
+    it as the entropy byte of the (multipath) ack, which closes the
+    recycling loop the {!Reps} balancer feeds on.
+
+    Three selection policies, so experiments can compare under identical
+    traffic: [Reps] (adaptive, recycled entropy), [Static_hash] (the
+    classic ECMP strawman — one hash-chosen path for the connection's
+    whole life, collisions and all) and [Single] (path 0, no
+    multipath). Acks travel the first reverse path in every mode. *)
+
+type mode = Reps | Static_hash | Single
+
+type t
+
+val connect :
+  ?name:string ->
+  ?config:Osiris_transport.Sender.config ->
+  ?on_state:(Osiris_transport.Sender.state -> unit) ->
+  ?mode:mode ->
+  ?limit:int ->
+  ?seed:int ->
+  ?fifo:int ->
+  Osiris_core.Network.topology ->
+  src:int ->
+  dst:int ->
+  deliver:(Bytes.t -> unit) ->
+  unit ->
+  t
+(** Open the per-path data VCs [src -> dst] (at most [limit]) and one
+    ack VC [dst -> src], wire sender, receiver, demux bindings and the
+    send pumps, and return the connection. [seed] scrambles the REPS
+    explore order (defaults to a function of the endpoints); [fifo]
+    sizes the REPS entropy FIFO. [mode] defaults to [Reps]. *)
+
+val send : t -> Bytes.t -> unit
+val close : t -> unit
+val state : t -> Osiris_transport.Sender.state
+val sender : t -> Osiris_transport.Sender.t
+val receiver : t -> Osiris_transport.Receiver.t
+
+val reps : t -> Reps.t option
+(** The balancer, in [Reps] mode. *)
+
+val npaths : t -> int
+val mvc : t -> Osiris_core.Network.mvc
+
+val path_of_seg : t -> int -> int option
+(** Which path segment [seq]'s most recent transmission used. *)
+
+val sends : t -> int -> int
+(** Data-PDU hand-offs to path [p] so far (first transmissions and
+    retransmissions). *)
+
+val last_send : t -> int -> Osiris_sim.Time.t
+(** Instant of the most recent hand-off to path [p] ([Time.zero] if
+    never used) — the signal the reroute-latency metric watches: after a
+    fault, the last hand-off to a path crossing the failed element dates
+    the spray's migration. *)
+
+val garbled : t -> int
+(** PDUs that failed wire decoding. *)
+
+val invariants : t -> string list
+(** Sender, receiver and balancer invariants plus spray bookkeeping
+    (per-path send counts summing to total transmissions). *)

@@ -68,6 +68,7 @@ type t = {
   name : string;
   tx : seq:int -> retransmit:bool -> Bytes.t -> unit;
   on_state : state -> unit;
+  on_timeout : unit -> unit;
   rto : Rto.t;
   mutable segs : seg option array;
   mutable nsegs : int;
@@ -272,6 +273,7 @@ and on_rto t =
   if t.state = Active && t.snd_una < t.snd_nxt then begin
     t.rto_count <- t.rto_count + 1;
     t.stats.timeouts <- t.stats.timeouts + 1;
+    t.on_timeout ();
     if t.rto_count > t.cfg.max_retries then
       fail t
         (Printf.sprintf "no progress after %d retransmission timeouts"
@@ -301,7 +303,7 @@ let cut_cwnd t =
   t.stats.cwnd_cuts <- t.stats.cwnd_cuts + 1
 
 let create eng ?(name = "snd") ?(config = default_config)
-    ?(on_state = fun _ -> ()) ~tx () =
+    ?(on_state = fun _ -> ()) ?(on_timeout = fun () -> ()) ~tx () =
   if config.seg_size < 1 then invalid_arg "Sender.create: seg_size < 1";
   if config.window < 1 then invalid_arg "Sender.create: window < 1";
   if config.init_cwnd < 1 || config.init_cwnd > config.window then
@@ -315,6 +317,7 @@ let create eng ?(name = "snd") ?(config = default_config)
     name;
     tx;
     on_state;
+    on_timeout;
     rto = Rto.create ~init:config.rto_init ~min:config.rto_min
         ~max:config.rto_max;
     segs = Array.make 64 None;

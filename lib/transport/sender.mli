@@ -70,6 +70,7 @@ val create :
   ?name:string ->
   ?config:config ->
   ?on_state:(state -> unit) ->
+  ?on_timeout:(unit -> unit) ->
   tx:(seq:int -> retransmit:bool -> Bytes.t -> unit) ->
   unit ->
   t
@@ -77,7 +78,10 @@ val create :
     (header encoding is the glue layer's job). It runs in whatever
     context drove the sender — possibly a plain engine callback (the RTO
     timer) — so it must not block; enqueue and signal instead. [on_state]
-    fires on the [Active -> Finished] and [Active -> Failed] edges. *)
+    fires on the [Active -> Finished] and [Active -> Failed] edges.
+    [on_timeout] fires at every retransmission-timeout expiry with data
+    outstanding, before the recovery retransmission — the hook a
+    multipath load balancer uses to stop trusting its cached paths. *)
 
 val offer : t -> Bytes.t -> unit
 (** Append data to the stream and transmit as far as the windows allow.

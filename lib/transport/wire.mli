@@ -23,3 +23,11 @@ val decode_data : Bytes.t -> (int * Bytes.t, string) result
 val encode_ack : ack:int -> sack:int -> ece:bool -> Bytes.t
 val decode_ack : Bytes.t -> (int * int * bool, string) result
 (** [Ok (ack, sack_bitmap, ece)]. *)
+
+val encode_ack_mp : ack:int -> sack:int -> ece:bool -> entropy:int -> Bytes.t
+(** Multipath ack: the same 12-byte PDU with [entropy] (the path index
+    the acknowledged PDU arrived on, 0–255) echoed in byte 10 — the
+    unipath codec writes zero there, so the two forms interoperate. *)
+
+val decode_ack_mp : Bytes.t -> (int * int * bool * int, string) result
+(** [Ok (ack, sack_bitmap, ece, entropy)]. *)

@@ -1,0 +1,8 @@
+(* R1 fixture: the REPS balancer's entropy-ring pointers and cached-path
+   bitmap have one writer (lib/lb/reps.ml); these foreign assignments
+   must be flagged. *)
+
+let poke r =
+  r.ent_head <- 0;
+  r.ent_tail <- r.ent_tail + 1;
+  r.cached <- r.cached lor 1

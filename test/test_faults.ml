@@ -611,7 +611,24 @@ let test_plan_roundtrip () =
   Alcotest.(check (float 1e-9)) "trunk loss over" 0.0
     (Plan.knobs_at g (Time.ms 3)).Plan.k_trunk_loss;
   Alcotest.(check (list int)) "port restored after the storm" []
-    (Plan.knobs_at g (Time.ms 5)).Plan.k_port_down
+    (Plan.knobs_at g (Time.ms 5)).Plan.k_port_down;
+  (* Topology dimensions: switch-addressed port storms and clean trunk
+     cuts over a generated fabric. *)
+  let h = Plan.of_string "swflap#3.2@2ms-4ms=100us;trunkdown#5@1ms-3ms" in
+  Alcotest.(check string) "swflap/trunkdown round-trip" (Plan.to_string h)
+    (Plan.to_string (Plan.of_string (Plan.to_string h)));
+  Alcotest.(check (list (pair int int)))
+    "switch 3 port 2 down on an even half-period"
+    [ (3, 2) ]
+    (Plan.knobs_at h (Time.ms 2 + Time.us 20)).Plan.k_sw_port_down;
+  Alcotest.(check (list (pair int int))) "up on an odd half-period" []
+    (Plan.knobs_at h (Time.ms 2 + Time.us 120)).Plan.k_sw_port_down;
+  Alcotest.(check (list int)) "trunk 5 cut at 2ms" [ 5 ]
+    (Plan.knobs_at h (Time.ms 2)).Plan.k_trunk_down;
+  Alcotest.(check (list int)) "trunk restored at 3ms" []
+    (Plan.knobs_at h (Time.ms 3)).Plan.k_trunk_down;
+  Alcotest.(check (list (pair int int))) "switch port restored after" []
+    (Plan.knobs_at h (Time.ms 5)).Plan.k_sw_port_down
 
 (* Property: any plan, across every fault dimension including the fabric
    ones, survives a textual round-trip — [to_string] output re-parses to
@@ -652,7 +669,10 @@ let qcheck_plan_roundtrip =
     windows >>= fun free_starve ->
     storms >>= fun flap ->
     storms >>= fun port_flap ->
-    bursts >|= fun trunk_loss ->
+    bursts >>= fun trunk_loss ->
+    list_size (0 -- 2) (quad (0 -- 5) (0 -- 5) window (time 10 500))
+    >>= fun sw_flap ->
+    windows >|= fun trunk_down ->
     {
       Plan.seed;
       drop;
@@ -667,6 +687,8 @@ let qcheck_plan_roundtrip =
       flap;
       port_flap;
       trunk_loss;
+      sw_flap;
+      trunk_down;
     }
   in
   QCheck_alcotest.to_alcotest

@@ -21,6 +21,8 @@ let () =
       ("adc", Test_adc.suite);
       ("faults", Test_faults.suite);
       ("switch", Test_switch.suite);
+      ("topo", Test_topo.suite);
+      ("lb", Test_lb.suite);
       ("transport", Test_transport.suite);
       ("check", Test_check.suite);
       ("analysis", Test_analysis.suite);
