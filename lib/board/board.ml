@@ -8,6 +8,7 @@ module Sar = Osiris_atm.Sar
 module Pbuf = Osiris_mem.Pbuf
 module Phys_mem = Osiris_mem.Phys_mem
 module Tc = Osiris_bus.Turbochannel
+module Ctable = Osiris_classify.Table
 
 type dma_mode = Single_cell | Double_cell
 
@@ -32,6 +33,7 @@ type config = {
   rx_fifo_cells : int;
   reassembly_timeout : Time.t;
   irq_reassert : Time.t;
+  demux_oracle : bool;
 }
 
 let default_config =
@@ -63,6 +65,9 @@ let default_config =
        seeded experiment that predates the fault layer. *)
     reassembly_timeout = 0;
     irq_reassert = 0;
+    (* The VC demux's Hashtbl mirror: free differential checking in tests
+       and experiments, off in the default (performance) configuration. *)
+    demux_oracle = false;
   }
 
 type interrupt_reason =
@@ -159,12 +164,48 @@ type channel = {
 
 type rxbuf = { bdesc : Desc.t; mutable filled : int; mutable posted : bool }
 
+(* The per-PDU buffer side table. Indices are dense (buffer 0, 1, ... of
+   the PDU being reassembled), so a growable option array replaces the
+   old per-VC [Hashtbl]: two words per slot instead of a bucket chain,
+   and a reset that just refills the array. At thousands of VCs this is
+   most of the per-VC resident state. *)
+type bufset = { mutable bs_slots : rxbuf option array; mutable bs_set : int }
+
+let bufs_create () = { bs_slots = Array.make 4 None; bs_set = 0 }
+
+let bufs_get bs idx =
+  if idx < Array.length bs.bs_slots then bs.bs_slots.(idx) else None
+
+let bufs_set bs idx b =
+  let cap = Array.length bs.bs_slots in
+  if idx >= cap then begin
+    let bigger = Array.make (max (idx + 1) (cap * 2)) None in
+    Array.blit bs.bs_slots 0 bigger 0 cap;
+    bs.bs_slots <- bigger
+  end;
+  if bs.bs_slots.(idx) = None then bs.bs_set <- bs.bs_set + 1;
+  bs.bs_slots.(idx) <- Some b
+
+let bufs_reset bs =
+  if bs.bs_set > 0 then
+    Array.fill bs.bs_slots 0 (Array.length bs.bs_slots) None;
+  bs.bs_set <- 0
+
+let bufs_iter f bs =
+  if bs.bs_set > 0 then
+    Array.iter (function Some b -> f b | None -> ()) bs.bs_slots
+
+let bufs_fold f bs init =
+  let acc = ref init in
+  bufs_iter (fun b -> acc := f b !acc) bs;
+  !acc
+
 type vc_state = {
   vci : int;
   mutable channel : channel;
   mutable sar : Sar.t; (* replaced when the stripe narrows/widens *)
   mutable last_progress : Time.t; (* last successful placement (timeout) *)
-  bufs : (int, rxbuf) Hashtbl.t; (* buffer index within current PDU *)
+  bufs : bufset; (* buffer index within current PDU *)
   mutable buf_size : int; (* capacity of this PDU's buffers; 0 = none yet *)
   mutable next_post : int;
   mutable total : int; (* framed total once known; -1 before *)
@@ -199,7 +240,7 @@ type t = {
   on_dma_write : addr:int -> len:int -> unit;
   channels : channel array;
   mutable n_open : int;
-  vcs : (int, vc_state) Hashtbl.t;
+  vcs : vc_state Ctable.t; (* the on-board VC classification table *)
   tx_work : Signal.t;
   mutable tx_kicks : int; (* synchronous enqueue counter; see tx_processor *)
   tx_fetch_q : tx_fetch_cmd Mailbox.t;
@@ -258,6 +299,26 @@ let make_channel eng bus cfg id =
 let create eng ~bus ~mem ~on_interrupt ?(on_dma_write = fun ~addr:_ ~len:_ -> ())
     cfg =
   if cfg.n_channels < 1 then invalid_arg "Board.create: need >= 1 channel";
+  let channels =
+    Array.init cfg.n_channels (fun id -> make_channel eng bus cfg id)
+  in
+  (* Fills the classification table's empty value slots; never returned
+     by a lookup (its key is the empty sentinel). *)
+  let dummy_vc =
+    {
+      vci = -1;
+      channel = channels.(0);
+      sar = Sar.create cfg.reassembly ~max_cells:cfg.max_pdu_cells;
+      last_progress = 0;
+      bufs = bufs_create ();
+      buf_size = 0;
+      next_post = 0;
+      total = -1;
+      dropping = false;
+      fbufs = Queue.create ();
+      stash = Queue.create ();
+    }
+  in
   let t =
     {
       eng;
@@ -266,9 +327,9 @@ let create eng ~bus ~mem ~on_interrupt ?(on_dma_write = fun ~addr:_ ~len:_ -> ()
       cfg;
       on_interrupt;
       on_dma_write;
-      channels = Array.init cfg.n_channels (fun id -> make_channel eng bus cfg id);
+      channels;
       n_open = 1;
-      vcs = Hashtbl.create 32;
+      vcs = Ctable.create ~oracle:cfg.demux_oracle ~dummy:dummy_vc 32;
       tx_work = Signal.create eng;
       tx_kicks = 0;
       tx_fetch_q = Mailbox.create eng ~capacity:2 ();
@@ -379,14 +440,15 @@ let free_gated t ~ch =
   t.channels.(ch).free_gated
 
 let bind_vci t ~vci ch =
-  if Hashtbl.mem t.vcs vci then invalid_arg "Board.bind_vci: VCI in use";
-  Hashtbl.replace t.vcs vci
+  if vci < 0 then invalid_arg "Board.bind_vci: negative VCI";
+  if Ctable.mem t.vcs vci then invalid_arg "Board.bind_vci: VCI in use";
+  Ctable.add t.vcs vci
     {
       vci;
       channel = ch;
       sar = Sar.create t.rx_strategy ~max_cells:t.cfg.max_pdu_cells;
       last_progress = 0;
-      bufs = Hashtbl.create 8;
+      bufs = bufs_create ();
       buf_size = 0;
       next_post = 0;
       total = -1;
@@ -395,10 +457,10 @@ let bind_vci t ~vci ch =
       stash = Queue.create ();
     }
 
-let unbind_vci t ~vci = Hashtbl.remove t.vcs vci
+let unbind_vci t ~vci = Ctable.remove t.vcs vci
 
 let supply_vci_buffer t ~vci desc =
-  match Hashtbl.find_opt t.vcs vci with
+  match Ctable.find t.vcs vci with
   | None -> invalid_arg "Board.supply_vci_buffer: unbound VCI"
   | Some vc ->
       if Queue.length vc.fbufs >= t.cfg.queue_size then false
@@ -411,9 +473,19 @@ let supply_vci_buffer t ~vci desc =
       end
 
 let vci_buffer_count t ~vci =
-  match Hashtbl.find_opt t.vcs vci with
+  match Ctable.find t.vcs vci with
   | None -> 0
   | Some vc -> Queue.length vc.fbufs
+
+(* Demultiplexing cost accounting: probe statistics of the on-board VC
+   classification table, and its (analytic) resident footprint. *)
+let demux_stats t = Ctable.probe_stats t.vcs
+let reset_demux_stats t = Ctable.reset_probe_stats t.vcs
+let demux_resident_bytes t = Ctable.resident_bytes t.vcs
+let demux_vcs t = Ctable.length t.vcs
+
+let demux_check t =
+  List.map (fun s -> "board demux: " ^ s) (Ctable.check t.vcs)
 
 (* ------------------------------------------------------------------ *)
 (* Span arithmetic: cut a byte range of a PDU into the DMA transactions
@@ -681,7 +753,7 @@ let tx_sender t () =
 
 let reset_vc vc =
   Sar.reset vc.sar;
-  Hashtbl.reset vc.bufs;
+  bufs_reset vc.bufs;
   (* buf_size persists: buffer pools are uniform per channel. *)
   vc.next_post <- 0;
   vc.total <- -1;
@@ -689,7 +761,7 @@ let reset_vc vc =
 
 (* Return the PDU's unposted buffers to the VC's private pool. *)
 let recycle_buffers vc =
-  Hashtbl.iter (fun _ b -> if not b.posted then Queue.add b.bdesc vc.fbufs) vc.bufs
+  bufs_iter (fun b -> if not b.posted then Queue.add b.bdesc vc.fbufs) vc.bufs
 
 let take_free_buffer vc =
   match Queue.take_opt vc.fbufs with
@@ -707,7 +779,7 @@ let take_free_buffer vc =
 let ensure_buffers vc idx =
   let rec go i =
     if i > idx then true
-    else if Hashtbl.mem vc.bufs i then go (i + 1)
+    else if bufs_get vc.bufs i <> None then go (i + 1)
     else
       match take_free_buffer vc with
       | None -> false
@@ -717,7 +789,7 @@ let ensure_buffers vc idx =
             (* The model requires uniform buffer sizes per PDU; drivers
                supply uniform pools, so treat mismatch as exhaustion. *)
             failwith "Board: receive buffers of one PDU must be uniform";
-          Hashtbl.replace vc.bufs i { bdesc = d; filled = 0; posted = false };
+          bufs_set vc.bufs i { bdesc = d; filled = 0; posted = false };
           go (i + 1)
   in
   go 0
@@ -751,7 +823,7 @@ let deliver_desc t vc ch desc =
 let collect_posts t vc ~completed_total =
   let posts = ref [] in
   let push_desc idx ~eop ~marked ~len =
-    match Hashtbl.find_opt vc.bufs idx with
+    match bufs_get vc.bufs idx with
     | None -> ()
     | Some b ->
         if not b.posted then begin
@@ -765,7 +837,7 @@ let collect_posts t vc ~completed_total =
   | None ->
       let continue = ref true in
       while !continue do
-        match Hashtbl.find_opt vc.bufs vc.next_post with
+        match bufs_get vc.bufs vc.next_post with
         | Some b when vc.buf_size > 0 && b.filled >= vc.buf_size ->
             push_desc vc.next_post ~eop:false ~marked:false ~len:vc.buf_size;
             vc.next_post <- vc.next_post + 1
@@ -800,7 +872,11 @@ let placement_spans vc ~offset ~len =
       let idx = offset / bs in
       if not (ensure_buffers vc idx) then None
       else begin
-        let b = Hashtbl.find vc.bufs idx in
+        let b =
+          match bufs_get vc.bufs idx with
+          | Some b -> b
+          | None -> assert false (* ensure_buffers just filled it *)
+        in
         let in_buf = offset mod bs in
         let chunk = min len (bs - in_buf) in
         go (offset + chunk) (len - chunk)
@@ -831,7 +907,7 @@ let dma_cmd_of_placement t vc (p : Sar.placement) ~completed_total =
       List.iter
         (fun (idx, addr, len) ->
           pieces := (addr, Bytes.sub data !off len) :: !pieces;
-          (match Hashtbl.find_opt vc.bufs idx with
+          (match bufs_get vc.bufs idx with
           | Some b -> b.filled <- b.filled + len
           | None -> ());
           off := !off + len)
@@ -886,11 +962,15 @@ let rx_handle_cell t (phys_link, cell) =
     None
   end
   else
-  match Hashtbl.find_opt t.vcs cell.Cell.vci with
-  | None ->
+  (* The paper's on-board early demultiplexing (§3.1), now a hashed
+     classification step whose probe count the experiments charge to the
+     per-cell budget via the machine's cache-cost model. *)
+  match Ctable.find_slot t.vcs cell.Cell.vci with
+  | -1 ->
       Metrics.incr t.m.m_unknown_vci_cells;
       None
-  | Some vc ->
+  | slot ->
+      let vc = Ctable.slot_value t.vcs slot in
       if vc.dropping then begin
         Metrics.incr t.m.m_cells_dropped;
         if cell.Cell.last_of_pdu then vc.dropping <- false;
@@ -1041,7 +1121,7 @@ let rx_dma_engine t () =
    quiescence beyond its final deadline check. *)
 
 let earliest_reassembly_deadline t =
-  Hashtbl.fold
+  Ctable.fold
     (fun _ vc acc ->
       if Sar.in_progress vc.sar then begin
         let dl = vc.last_progress + t.cfg.reassembly_timeout in
@@ -1053,7 +1133,7 @@ let earliest_reassembly_deadline t =
 let sweep_stuck_reassemblies t =
   let now = Engine.now t.eng in
   let stuck =
-    Hashtbl.fold
+    Ctable.fold
       (fun _ vc acc ->
         if
           Sar.in_progress vc.sar
@@ -1101,7 +1181,7 @@ let handle_rx_restripe t link =
   | Sar.Per_link _ -> t.rx_strategy <- Sar.Per_link (max 1 (List.length live))
   | s -> t.rx_strategy <- s);
   let victims =
-    Hashtbl.fold
+    Ctable.fold
       (fun _ vc acc ->
         let busy = Sar.in_progress vc.sar || not (Queue.is_empty vc.stash) in
         (* Stashed cells were striped under the old width; they cannot be
@@ -1230,22 +1310,22 @@ let tx_idle t =
    neither here nor host-side until the command posts). *)
 
 let held_buffers t =
-  Hashtbl.fold
+  Ctable.fold
     (fun _ vc acc ->
       let unposted =
-        Hashtbl.fold (fun _ b n -> if b.posted then n else n + 1) vc.bufs 0
+        bufs_fold (fun b n -> if b.posted then n else n + 1) vc.bufs 0
       in
       acc + unposted + Queue.length vc.fbufs)
     t.vcs 0
 
 let reassemblies_in_progress t =
-  Hashtbl.fold
+  Ctable.fold
     (fun _ vc acc -> if Sar.in_progress vc.sar then acc + 1 else acc)
     t.vcs 0
 
 let oldest_reassembly_age t =
   let now = Engine.now t.eng in
-  Hashtbl.fold
+  Ctable.fold
     (fun _ vc acc ->
       if Sar.in_progress vc.sar then begin
         let age = now - vc.last_progress in

@@ -78,6 +78,10 @@ type config = {
       (** watchdog period re-asserting [Rx_nonempty] while a receive
           queue stays backed up (0 = disabled, the default): recovery
           from a lost coalesced interrupt *)
+  demux_oracle : bool;
+      (** mirror the VC classification table in a [Hashtbl] and audit
+          the two against each other in {!demux_check} (off by
+          default) *)
 }
 
 val default_config : config
@@ -175,6 +179,28 @@ val supply_vci_buffer : t -> vci:int -> Desc.t -> bool
     per-VCI queue is full. *)
 
 val vci_buffer_count : t -> vci:int -> int
+
+(** {2 Demultiplexing cost accounting}
+
+    The per-cell VCI lookup runs through an {!Osiris_classify.Table};
+    these expose its probe statistics (the demux_scale experiment's cost
+    inputs), its analytic footprint, and its structural /
+    differential-oracle audit. *)
+
+val demux_stats : t -> Osiris_classify.Table.probe_stats
+val reset_demux_stats : t -> unit
+
+val demux_resident_bytes : t -> int
+(** Analytic resident size of the classification table itself (not the
+    per-VC reassembly state behind it). *)
+
+val demux_vcs : t -> int
+(** Number of currently bound VCIs. *)
+
+val demux_check : t -> string list
+(** Structural invariants of the classification table, plus equivalence
+    with the [Hashtbl] mirror when [demux_oracle] is set. Empty =
+    clean. *)
 
 val tx_idle : t -> bool
 (** True when no channel has transmit work pending or in progress. *)

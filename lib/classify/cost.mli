@@ -1,0 +1,23 @@
+(** Cycle-cost model for classification lookups: probes × the machine's
+    memory-access cost. Profiles are derived from a machine's cache
+    parameters by the experiments (this library sits below
+    [Osiris_core]). *)
+
+type profile
+
+val profile : name:string -> access_ns:float -> profile
+
+val of_cache :
+  name:string ->
+  cpu_hz:int ->
+  fill_overhead_cycles:int ->
+  hit_cycles_per_word:int ->
+  profile
+(** One probe = one cache-line fill: [(fill_overhead_cycles +
+    hit_cycles_per_word) / cpu_hz], in nanoseconds. *)
+
+val name : profile -> string
+val access_ns : profile -> float
+
+val lookup_ns : profile -> probes:float -> float
+(** Modeled lookup cost of [probes] (possibly an average) probes. *)

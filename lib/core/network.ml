@@ -52,6 +52,13 @@ type topology = {
   trunks : Atm_link.t array;
   fabric : Builder.fabric;
   mutable next_vci : int;
+  path_cache : (int, Builder.hop list list) Hashtbl.t;
+      (* (src lsl 16) lor dst → Builder.paths result. The fabric is
+         immutable after instantiate, so shortest-path enumeration is a
+         pure function of the pair; caching it makes opening the Nth VC
+         of a pair O(path length), which is what lets experiments stand
+         up thousands of connections. *)
+  mutable path_enums : int; (* Builder.paths calls actually made *)
 }
 
 type vc = { vc_src : int; vc_dst : int; src_vci : int; dst_vci : int }
@@ -161,6 +168,8 @@ let instantiate ?backend ?(machine = Machine.ds5000_200)
       trunks;
       fabric;
       next_vci = first_user_vci;
+      path_cache = Hashtbl.create 64;
+      path_enums = 0;
     } )
 
 let star ?backend ?(n = 3) ?(machine = Machine.ds5000_200)
@@ -207,9 +216,23 @@ let check_endpoints topo ~what ~src ~dst =
   if src < 0 || src >= nh || dst < 0 || dst >= nh || src = dst then
     invalid_arg (Printf.sprintf "Network.%s: bad endpoints" what)
 
+(* Shortest-path enumeration, memoized per (src, dst): at most one
+   [Builder.paths] call per ordered pair for the topology's lifetime. *)
+let cached_paths topo ~src ~dst =
+  let key = (src lsl 16) lor dst in
+  match Hashtbl.find_opt topo.path_cache key with
+  | Some paths -> paths
+  | None ->
+      let paths = Builder.paths topo.fabric ~src ~dst in
+      topo.path_enums <- topo.path_enums + 1;
+      Hashtbl.replace topo.path_cache key paths;
+      paths
+
+let path_enumerations topo = topo.path_enums
+
 let open_vc topo ~src ~dst =
   check_endpoints topo ~what:"open_vc" ~src ~dst;
-  match Builder.paths topo.fabric ~src ~dst with
+  match cached_paths topo ~src ~dst with
   | [] -> invalid_arg "Network.open_vc: no path between endpoints"
   | path :: _ ->
       let d = topo.endpoints.(dst) in
@@ -221,7 +244,7 @@ let open_vc topo ~src ~dst =
 
 let open_vc_paths ?limit topo ~src ~dst =
   check_endpoints topo ~what:"open_vc_paths" ~src ~dst;
-  let all = Builder.paths topo.fabric ~src ~dst in
+  let all = cached_paths topo ~src ~dst in
   let all =
     match limit with
     | None -> all

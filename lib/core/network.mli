@@ -69,6 +69,15 @@ type topology = {
       (** the wiring plan this topology was instantiated from — the
           queryable fabric map (tiers, trunk endpoints, path sets) *)
   mutable next_vci : int;  (** next VCI {!open_vc} will hand out *)
+  path_cache : (int, Osiris_topo.Builder.hop list list) Hashtbl.t;
+      (** memoized {!Osiris_topo.Builder.paths} results, keyed
+          [(src lsl 16) lor dst]: the fabric never changes after
+          {!instantiate}, so each ordered pair is enumerated at most
+          once and opening the Nth VC of a pair is O(path length) —
+          bulk connection setup at thousands of VCs *)
+  mutable path_enums : int;
+      (** number of path enumerations actually performed (cache
+          misses); see {!path_enumerations} *)
 }
 
 type vc = {
@@ -197,6 +206,11 @@ val open_vc : topology -> src:int -> dst:int -> vc
     and a receive binding of the final VCI to [dst]'s kernel channel.
     The caller sends with [Driver.send ~vci:vc.src_vci] and receives by
     binding [vc.dst_vci] in [dst]'s demux. *)
+
+val path_enumerations : topology -> int
+(** How many times the topology has run shortest-path enumeration
+    ([Builder.paths]) — at most one per ordered (src, dst) pair, however
+    many VCs are opened. The bulk-setup regression test pins this. *)
 
 val open_vc_paths : ?limit:int -> topology -> src:int -> dst:int -> mvc
 (** Allocate one complete VCI chain per equal-cost shortest path

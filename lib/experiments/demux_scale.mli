@@ -1,0 +1,35 @@
+(** Connection-dense demultiplexing sweep: thousands of VCs terminate at
+    one receiver, every cell pays a classification lookup, and the
+    hashed tables' probe counters are converted to per-cell nanoseconds
+    on both paper machines against a linear-scan baseline. *)
+
+type point = {
+  nvcs : int;  (** concurrent VCs opened at the receiver *)
+  offered_pdus : int;  (** one flow per VC *)
+  delivered_pdus : int;
+  offered_bytes : int;
+  delivered_bytes : int;
+  demux : Osiris_classify.Table.probe_stats;
+      (** receiver board's VC-classification probes *)
+  route : Osiris_classify.Table.probe_stats;
+      (** switch routing-table probes *)
+  nroutes : int;
+  resident_bytes_per_vc : int;  (** demux-table state per live VC *)
+  path_enums : int;  (** topology path enumerations (cache misses) *)
+  violations : string list;
+}
+
+val run :
+  ?machine:Osiris_core.Machine.t -> ?seed:int -> nvcs:int -> unit -> point
+(** Open [nvcs] VCs between one host pair, drive one web-search-CDF
+    flow per VC, and audit conservation, host invariants, both
+    classification oracles, and bulk-setup path-cache behavior. *)
+
+val pp_point : Format.formatter -> point -> unit
+
+val sweep_vcs : int list
+
+val figure : unit -> Report.figure
+(** The BENCH figure: sweeps {!sweep_vcs}, fails on any violation, on a
+    hashed cost ratio above 1.5x between the sweep's ends, or on a
+    linear baseline that failed to grow. *)

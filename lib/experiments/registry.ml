@@ -131,6 +131,14 @@ let all =
       kind = Figure (fun () -> Multipath.figure ());
     };
     {
+      id = "demux_scale";
+      description =
+        "adaptor: per-cell classification cost vs concurrent VCs (64 -> \
+         8192), hashed board demux + switch routing vs linear-scan \
+         baseline, both machines, CDF-driven flows, oracles audited";
+      kind = Figure (fun () -> Demux_scale.figure ());
+    };
+    {
       id = "engine_speed";
       description =
         "simulator: engine events/sec on a 1M-event star workload, timer \
@@ -145,7 +153,7 @@ let quick =
       not
         (List.mem e.id
            [ "figure2"; "figure3"; "figure4"; "incast"; "congestion";
-             "multipath"; "engine_speed" ]))
+             "multipath"; "engine_speed"; "demux_scale" ]))
     all
 
 let find id = List.find_opt (fun e -> e.id = id) all

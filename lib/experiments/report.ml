@@ -104,7 +104,7 @@ let figure_json f =
       ("paper_note", Json.String f.paper_note);
     ]
 
-let schema = "osiris-bench/7"
+let schema = "osiris-bench/8"
 
 let bench_json ~mode ~experiments ~micro =
   Json.Assoc

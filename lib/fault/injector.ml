@@ -14,7 +14,11 @@ type t = {
   board : Board.t option;
   base : Atm_link.config;
   mutable irq_prob : float;
-  mutable irq_prob_ch : (int * float) list;
+  irq_prob_ch : float array;
+      (* per-channel interrupt-loss override, indexed by channel id
+         (length = the board's n_channels; empty without a board). An
+         array, not an assoc list: the lookup runs on every interrupt
+         draw, and plans can target any of the 16 channels. *)
   mutable armed : bool;
   m_events : Metrics.counter;
   m_irq_draws : Metrics.counter;
@@ -39,7 +43,12 @@ let apply t now =
     | Some cap -> cap
     | None -> t.base.Atm_link.rx_fifo_cells);
   t.irq_prob <- k.Plan.k_irq_loss;
-  t.irq_prob_ch <- k.Plan.k_irq_loss_ch;
+  Array.fill t.irq_prob_ch 0 (Array.length t.irq_prob_ch) 0.0;
+  List.iter
+    (fun (ch, p) ->
+      if ch >= 0 && ch < Array.length t.irq_prob_ch then
+        t.irq_prob_ch.(ch) <- p)
+    k.Plan.k_irq_loss_ch;
   match t.board with
   | None -> ()
   | Some b ->
@@ -50,11 +59,16 @@ let apply t now =
 (* Effective interrupt-loss probability for one receive channel: the
    harsher of the global burst and the channel-targeted one. *)
 let irq_loss_prob t ch =
-  match List.assoc_opt ch t.irq_prob_ch with
-  | Some p -> Float.max t.irq_prob p
-  | None -> t.irq_prob
+  if ch >= 0 && ch < Array.length t.irq_prob_ch then
+    Float.max t.irq_prob t.irq_prob_ch.(ch)
+  else t.irq_prob
 
 let inject eng ~plan ~link ?board () =
+  let n_ch =
+    match board with
+    | Some b -> (Board.config b).Board.n_channels
+    | None -> 0
+  in
   let t =
     {
       eng;
@@ -64,7 +78,7 @@ let inject eng ~plan ~link ?board () =
       board;
       base = Atm_link.config link;
       irq_prob = 0.0;
-      irq_prob_ch = [];
+      irq_prob_ch = Array.make n_ch 0.0;
       armed = true;
       m_events = Metrics.counter "fault.plan_events";
       m_irq_draws = Metrics.counter "fault.irq_loss_draws";
@@ -105,7 +119,7 @@ let disarm t =
   if t.armed then begin
     t.armed <- false;
     t.irq_prob <- 0.0;
-    t.irq_prob_ch <- [];
+    Array.fill t.irq_prob_ch 0 (Array.length t.irq_prob_ch) 0.0;
     Atm_link.set_drop_prob t.link t.base.Atm_link.drop_prob;
     Atm_link.set_corrupt_prob t.link t.base.Atm_link.corrupt_prob;
     Atm_link.set_corrupt_header_prob t.link t.base.Atm_link.corrupt_header_prob;

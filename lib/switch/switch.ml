@@ -6,6 +6,7 @@ module Trace = Osiris_sim.Trace
 module Cell = Osiris_atm.Cell
 module Atm_link = Osiris_link.Atm_link
 module Metrics = Osiris_obs.Metrics
+module Ctable = Osiris_classify.Table
 
 type config = {
   nports : int;
@@ -14,11 +15,13 @@ type config = {
   drain_batch : int;
   mark_threshold : int;
   epd_reserve : int;
+  route_oracle : bool;
 }
 
 let default_config =
   { nports = 4; queue_cells = 32; forward_latency = Time.us 2;
-    drain_batch = 8; mark_threshold = 0; epd_reserve = 0 }
+    drain_batch = 8; mark_threshold = 0; epd_reserve = 0;
+    route_oracle = false }
 
 (* Placeholder stored in vacated ring slots so forwarded cells are not
    pinned by the preallocated arrays. *)
@@ -79,8 +82,8 @@ type t = {
   cfg : config;
   sw_name : string;
   ports : port array;
-  routes : (int, int) Hashtbl.t; (* pack in_port in_vci → pack out ... *)
-  pdus : (int, int) Hashtbl.t; (* pack in_port in_vci → verdict *)
+  routes : int Ctable.t; (* pack in_port in_vci → pack out ... *)
+  pdus : int Ctable.t; (* pack in_port in_vci → verdict *)
   stats : stats;
   mutable queued : int; (* total logical occupancy, all output ports *)
   mutable marked_queued : int; (* marked cells among [queued] *)
@@ -123,8 +126,10 @@ let create eng ?(name = "sw") cfg =
       cfg;
       sw_name = name;
       ports;
-      routes = Hashtbl.create 31;
-      pdus = Hashtbl.create 31;
+      (* Dummy 0 is a routing value / verdict shape, never returned: the
+         empty sentinel lives in the key array. *)
+      routes = Ctable.create ~oracle:cfg.route_oracle ~dummy:0 32;
+      pdus = Ctable.create ~oracle:cfg.route_oracle ~dummy:0 32;
       stats =
         {
           cells_in = 0;
@@ -173,12 +178,23 @@ let add_route t ~in_port ~in_vci ~out_port ~out_vci =
   check_port t "add_route" out_port;
   if in_vci < 0 || in_vci > 0xffff || out_vci < 0 || out_vci > 0xffff then
     invalid_arg "Switch.add_route: vci out of range";
-  Hashtbl.replace t.routes (pack in_port in_vci) (pack out_port out_vci)
+  Ctable.add t.routes (pack in_port in_vci) (pack out_port out_vci)
 
 let route t ~in_port ~in_vci =
-  match Hashtbl.find t.routes (pack in_port in_vci) with
-  | exception Not_found -> None
-  | rv -> Some (rv lsr 16, rv land 0xffff)
+  match Ctable.find t.routes (pack in_port in_vci) with
+  | None -> None
+  | Some rv -> Some (rv lsr 16, rv land 0xffff)
+
+(* Routing-lookup cost accounting (demux_scale): probe statistics of the
+   per-cell classification step, and the table's analytic footprint. *)
+let route_stats t = Ctable.probe_stats t.routes
+let reset_route_stats t = Ctable.reset_probe_stats t.routes
+let route_resident_bytes t = Ctable.resident_bytes t.routes
+let nroutes t = Ctable.length t.routes
+
+let route_check t =
+  List.map (fun s -> "switch routes: " ^ s) (Ctable.check t.routes)
+  @ List.map (fun s -> "switch pdus: " ^ s) (Ctable.check t.pdus)
 
 let port_occupancy t ~port =
   check_port t "port_occupancy" port;
@@ -274,15 +290,18 @@ let ingress_cell_epd t ~in_port ~out_port ~out_vci (cell : Cell.t) =
      non-negative reservation); [min_int] stands for "no verdict". *)
   let state =
     if cell.Cell.seq = 0 then begin
-      (match Hashtbl.find t.pdus key with
-      | exception Not_found -> ()
-      | r -> if r > 0 then p.reserved <- p.reserved - r);
-      Hashtbl.remove t.pdus key;
+      (match Ctable.find_slot t.pdus key with
+      | -1 -> ()
+      | s ->
+          let r = Ctable.slot_value t.pdus s in
+          if r > 0 then p.reserved <- p.reserved - r);
+      Ctable.remove t.pdus key;
       min_int
     end
-    else match Hashtbl.find t.pdus key with
-      | exception Not_found -> min_int
-      | r -> r
+    else
+      match Ctable.find_slot t.pdus key with
+      | -1 -> min_int
+      | s -> Ctable.slot_value t.pdus s
   in
   let last = cell.Cell.last_of_pdu in
   let occ = p.q_len + p.in_flight in
@@ -293,16 +312,16 @@ let ingress_cell_epd t ~in_port ~out_port ~out_vci (cell : Cell.t) =
       if not last then begin
         let remaining = t.cfg.epd_reserve - 1 in
         p.reserved <- p.reserved + remaining;
-        (Hashtbl.replace t.pdus key remaining
+        (Ctable.add t.pdus key remaining
         [@osiris.alloc_ok
-          "per-PDU bookkeeping: one bucket per open PDU, amortized over \
-           its cells"])
+          "per-PDU bookkeeping: amortized table growth, one insert per \
+           open PDU"])
       end
     end
     else begin
       drop_epd t out_port cell ~why:"early packet discard";
       if not last then
-        (Hashtbl.replace t.pdus key shed
+        (Ctable.add t.pdus key shed
         [@osiris.alloc_ok "per-PDU bookkeeping, as above"])
     end
   end
@@ -313,10 +332,10 @@ let ingress_cell_epd t ~in_port ~out_port ~out_vci (cell : Cell.t) =
     p.reserved <- p.reserved - 1;
     if last then begin
       p.reserved <- p.reserved - (r - 1);
-      Hashtbl.remove t.pdus key
+      Ctable.remove t.pdus key
     end
     else
-      (Hashtbl.replace t.pdus key (r - 1)
+      (Ctable.add t.pdus key (r - 1)
       [@osiris.alloc_ok "overwrites the PDU's existing int binding"])
   end
   else if state = 0 then begin
@@ -324,28 +343,30 @@ let ingress_cell_epd t ~in_port ~out_port ~out_vci (cell : Cell.t) =
        while it lasts, cut the PDU off (PPD) when it runs out. *)
     if occ + p.reserved < t.cfg.queue_cells then begin
       enqueue t p ~out_vci cell;
-      if last then Hashtbl.remove t.pdus key
+      if last then Ctable.remove t.pdus key
     end
     else begin
       drop_epd t out_port cell ~why:"partial packet discard";
-      if last then Hashtbl.remove t.pdus key
+      if last then Ctable.remove t.pdus key
       else
-        (Hashtbl.replace t.pdus key shed
+        (Ctable.add t.pdus key shed
         [@osiris.alloc_ok "overwrites the PDU's existing int binding"])
     end
   end
   else begin
     (* [shed]: the PDU lost its admission; drop the rest of it. *)
     drop_epd t out_port cell ~why:"packet discard";
-    if last then Hashtbl.remove t.pdus key
+    if last then Ctable.remove t.pdus key
   end
 
 let ingress_cell t ~port cell =
   check_port t "ingress_cell" port;
   t.stats.cells_in <- t.stats.cells_in + 1;
   Metrics.incr t.m_in;
-  match Hashtbl.find t.routes (pack port cell.Cell.vci) with
-  | exception Not_found ->
+  (* Hashed classification, cost-accounted: this probe sequence is what
+     the demux_scale figure charges per forwarded cell. *)
+  match Ctable.find_slot t.routes (pack port cell.Cell.vci) with
+  | -1 ->
       t.stats.dropped_no_route <- t.stats.dropped_no_route + 1;
       Metrics.incr t.m_drop_route;
       (Trace.emitf Trace.Link ~now:(Engine.now t.eng)
@@ -354,7 +375,8 @@ let ingress_cell t ~port cell =
       [@osiris.alloc_ok
         "drop diagnostics: emitf builds a format value; tracing is off in \
          benchmark runs"])
-  | rv ->
+  | slot ->
+      let rv = Ctable.slot_value t.routes slot in
       let out_port = rv lsr 16 and out_vci = rv land 0xffff in
       if t.cfg.epd_reserve > 0 then
         ingress_cell_epd t ~in_port:port ~out_port ~out_vci cell

@@ -1,0 +1,5 @@
+(* R5 fixture: a classification-style lookup declared hot in the fixture
+   policy but boxing its result per probe — the lint must flag the
+   option construction. The real table returns a slot index instead. *)
+
+let lookup keys key = if keys.(0) = key then Some 0 else None

@@ -1,0 +1,1 @@
+val lookup : int array -> int -> int option

@@ -30,6 +30,9 @@ let policy =
      own cached lib/lb/reps.ml\n\
      own cur lib/sim/wheel.ml\n\
      own free lib/sim/wheel.ml lib/mem/phys_mem.ml\n\
+     own c_count lib/classify/table.ml\n\
+     own c_maxd lib/classify/table.ml\n\
+     own c_lookups lib/classify/table.ml\n\
      shared irq_filter\n\
      accessor lib/board/board.ml\n"
 
@@ -152,10 +155,10 @@ let test_check_tree_over_fixtures () =
   let vs = Lint.check_tree policy [ fixture_root ] in
   let count r = List.length (List.filter (fun v -> v.Lint.rule = r) vs) in
   Alcotest.(check int) "one R0" 1 (count "R0");
-  Alcotest.(check int) "R1 per foreign write" 8 (count "R1");
+  Alcotest.(check int) "R1 per foreign write" 11 (count "R1");
   Alcotest.(check int) "one R2" 1 (count "R2");
   Alcotest.(check int) "two R3" 2 (count "R3");
-  Alcotest.(check int) "R4 for every .mli-less fixture .ml" 8 (count "R4");
+  Alcotest.(check int) "R4 for every .mli-less fixture .ml" 9 (count "R4");
   let files = List.map (fun v -> v.Lint.file) vs in
   Alcotest.(check (list string)) "sorted by file" (List.sort compare files)
     files;
@@ -182,6 +185,7 @@ let typed_policy =
      hot test/fixtures/olint/typed/r5_alloc.ml:tick\n\
      hot test/fixtures/olint/typed/r5_transitive.ml:tick\n\
      hot test/fixtures/olint/typed/r5_hatch.ml:tick\n\
+     hot test/fixtures/olint/typed/r5_classify.ml:lookup\n\
      sim-time Engine.now\n\
      wall-clock Unix.gettimeofday\n\
      coverage-fn accounting\n"
@@ -189,7 +193,7 @@ let typed_policy =
 let test_typed_fixtures () =
   let vs = Typed.check_tree typed_policy ~cmt_root in
   let of_rule r = List.filter (fun v -> v.Lint.rule = r) vs in
-  Alcotest.(check int) "three R5" 3 (List.length (of_rule "R5"));
+  Alcotest.(check int) "four R5" 4 (List.length (of_rule "R5"));
   Alcotest.(check int) "one R6" 1 (List.length (of_rule "R6"));
   Alcotest.(check int) "one R7" 1 (List.length (of_rule "R7"));
   let in_file name =
@@ -208,6 +212,12 @@ let test_typed_fixtures () =
       Alcotest.(check bool) "names the hot root" true
         (contains ~affix:"hot via" v.Lint.message)
   | vs -> Alcotest.failf "r5_transitive: expected 1 violation, got %d"
+            (List.length vs));
+  (match in_file "r5_classify.ml" with
+  | [ v ] ->
+      Alcotest.(check bool) "boxed lookup result flagged" true
+        (contains ~affix:"Some" v.Lint.message)
+  | vs -> Alcotest.failf "r5_classify: expected 1 violation, got %d"
             (List.length vs));
   (match in_file "r5_hatch.ml" with
   | [ v ] ->

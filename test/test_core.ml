@@ -365,6 +365,31 @@ let test_machine_lookup () =
     (Machine.by_name "dec 5000/200" <> None);
   Alcotest.(check bool) "unknown" true (Machine.by_name "vax" = None)
 
+(* Bulk VC setup must be O(1) amortized: after the first circuit between
+   a host pair, path discovery comes out of the topology's cache, so
+   opening thousands of VCs costs thousands of table inserts — not
+   thousands of graph traversals. Sys.time is a coarse guard here; the
+   sharp assertion is the enumeration counter. *)
+let test_bulk_vc_setup () =
+  let _eng, topo = Network.star ~n:4 () in
+  let recv = Network.host topo 0 in
+  let baseline = Board.demux_vcs recv.Host.board in
+  let t0 = Sys.time () in
+  let n = 4096 in
+  for i = 0 to n - 1 do
+    let src = 1 + (i mod 3) in
+    ignore (Network.open_vc topo ~src ~dst:0)
+  done;
+  let elapsed = Sys.time () -. t0 in
+  let enums = Network.path_enumerations topo in
+  if enums > 3 then
+    Alcotest.failf "%d path enumerations for 3 (src,dst) pairs" enums;
+  if elapsed > 5.0 then
+    Alcotest.failf "opening %d VCs took %.1fs" n elapsed;
+  (* Every VC is live at the receiving board. *)
+  Alcotest.(check int) "receiver demux entries" n
+    (Board.demux_vcs recv.Host.board - baseline)
+
 let suite =
   [
     Alcotest.test_case "udp end-to-end integrity" `Quick
@@ -391,4 +416,6 @@ let suite =
     Alcotest.test_case "snapshot" `Quick test_snapshot;
     Alcotest.test_case "full-cache-swap policy" `Quick
       test_full_cache_swap_policy;
+    Alcotest.test_case "bulk VC setup is O(1) amortized" `Quick
+      test_bulk_vc_setup;
   ]

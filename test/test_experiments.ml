@@ -219,6 +219,24 @@ let test_congestion_deterministic () =
   Alcotest.(check int) "all connections finished" 4 a.Congestion.finished;
   Alcotest.(check bool) "same seed, identical outcome" true (a = b)
 
+(* One small demux_scale point end to end: all flows land, nothing
+   trips the oracles or conservation, and the probe counters show the
+   hashed tables actually being exercised. *)
+let test_demux_scale_smoke () =
+  let p = Osiris_experiments.Demux_scale.run ~nvcs:128 () in
+  (match p.Osiris_experiments.Demux_scale.violations with
+  | [] -> ()
+  | vs -> Alcotest.failf "violations: %s" (String.concat "; " vs));
+  Alcotest.(check int) "delivered" 128
+    p.Osiris_experiments.Demux_scale.delivered_pdus;
+  let d = p.Osiris_experiments.Demux_scale.demux in
+  Alcotest.(check bool) "demux lookups happened" true
+    (d.Osiris_classify.Table.lookups > 0);
+  Alcotest.(check bool) "probe histogram sane" true
+    (d.Osiris_classify.Table.p99_probe >= 1
+    && d.Osiris_classify.Table.p99_probe
+       <= d.Osiris_classify.Table.max_probe)
+
 let test_registry_complete () =
   let ids = Registry.ids () in
   List.iter
@@ -257,4 +275,5 @@ let suite =
     Alcotest.test_case "congestion run deterministic" `Quick
       test_congestion_deterministic;
     Alcotest.test_case "registry sanity" `Quick test_registry_complete;
+    Alcotest.test_case "demux_scale smoke" `Quick test_demux_scale_smoke;
   ]

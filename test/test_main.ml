@@ -25,6 +25,8 @@ let () =
       ("lb", Test_lb.suite);
       ("transport", Test_transport.suite);
       ("check", Test_check.suite);
+      ("classify", Test_classify.suite);
+      ("traffic", Test_traffic.suite);
       ("analysis", Test_analysis.suite);
       ("experiments", Test_experiments.suite);
       ("obs", Test_obs.suite);

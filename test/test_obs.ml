@@ -110,7 +110,7 @@ let test_bench_json_golden () =
       ~micro:[ ("m", Some 12.5); ("n", None) ]
   in
   let expected =
-    "{\"schema\":\"osiris-bench/7\",\"mode\":\"test\",\"experiments\":[\
+    "{\"schema\":\"osiris-bench/8\",\"mode\":\"test\",\"experiments\":[\
      {\"id\":\"t1\",\"description\":\"a table\",\"result\":{\"kind\":\"table\",\
      \"title\":\"t\",\"header\":[\"a\",\"b\"],\"rows\":[[\"1\",\"2\"]],\
      \"paper_note\":\"n\"}},{\"id\":\"f1\",\"description\":\"a figure\",\

@@ -1,0 +1,171 @@
+(* The CDF-driven workload generator: inverse-transform sampling must be
+   monotone, empirical means must converge to the analytic mean, and
+   the connection-matrix generators must emit well-formed, sorted flow
+   lists. *)
+
+module Cdf = Osiris_traffic.Cdf
+module Matrix = Osiris_traffic.Matrix
+module Rng = Osiris_util.Rng
+module Time = Osiris_sim.Time
+
+(* --- unit coverage ------------------------------------------------ *)
+
+let test_of_points_validation () =
+  let bad what pts =
+    match Cdf.of_points ~name:"bad" pts with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.failf "%s accepted" what
+  in
+  bad "single point" [ (1.0, 0.0) ];
+  bad "p0 <> 0" [ (1.0, 0.1); (2.0, 1.0) ];
+  bad "pn <> 1" [ (1.0, 0.0); (2.0, 0.9) ];
+  bad "x not increasing" [ (2.0, 0.0); (1.0, 1.0) ];
+  bad "p decreasing" [ (1.0, 0.0); (2.0, 0.5); (3.0, 0.4); (4.0, 1.0) ];
+  ignore (Cdf.of_points ~name:"ok" [ (1.0, 0.0); (10.0, 1.0) ])
+
+let test_named_cdfs () =
+  List.iter
+    (fun name ->
+      let c = Cdf.by_name name in
+      Alcotest.(check string) "name" name (Cdf.name c);
+      Alcotest.(check bool) "mean positive" true (Cdf.mean c > 0.))
+    [ "websearch"; "datamining" ];
+  (match Cdf.by_name "nonsense" with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "unknown workload accepted");
+  (* The tails tell the workloads apart: datamining's support reaches
+     far beyond websearch's. *)
+  Alcotest.(check bool) "datamining tail heavier" true
+    (Cdf.quantile Cdf.datamining 1.0 > Cdf.quantile Cdf.websearch 1.0)
+
+let test_quantile_endpoints_and_clamp () =
+  let c = Cdf.uniform ~lo:100 ~hi:200 in
+  Alcotest.(check (float 1e-6)) "q(0)" 100.0 (Cdf.quantile c 0.0);
+  Alcotest.(check (float 1e-6)) "q(1)" 200.0 (Cdf.quantile c 1.0);
+  Alcotest.(check (float 1e-6)) "clamp low" 100.0 (Cdf.quantile c (-0.5));
+  Alcotest.(check (float 1e-6)) "clamp high" 200.0 (Cdf.quantile c 2.0);
+  Alcotest.(check (float 1e-6)) "uniform mean" 150.0 (Cdf.mean c)
+
+let test_scale_clamps () =
+  let c = Cdf.scale Cdf.websearch ~factor:1e-4 ~min_bytes:44 ~max_bytes:4096 in
+  Alcotest.(check bool) "min" true (Cdf.quantile c 0.0 >= 44.0);
+  Alcotest.(check bool) "max" true (Cdf.quantile c 1.0 <= 4096.0 +. 16.0);
+  let rng = Rng.create ~seed:7 in
+  for _ = 1 to 1000 do
+    let s = Cdf.sample c rng in
+    if s < 1 || s > 4200 then Alcotest.failf "sample %d out of range" s
+  done
+
+let test_pair_burst () =
+  let rng = Rng.create ~seed:42 in
+  let fl =
+    Matrix.pair_burst rng ~src:1 ~dst:0 ~flows:500 ~cdf:Cdf.websearch
+      ~window:(Time.ms 10)
+  in
+  Alcotest.(check int) "count" 500 (List.length fl);
+  let sorted = ref true and prev = ref Time.zero in
+  List.iter
+    (fun f ->
+      if f.Matrix.f_src <> 1 || f.Matrix.f_dst <> 0 then
+        Alcotest.fail "wrong endpoints";
+      if f.Matrix.f_bytes < 1 then Alcotest.fail "empty flow";
+      if f.Matrix.f_start < !prev then sorted := false;
+      prev := f.Matrix.f_start;
+      if f.Matrix.f_start < Time.zero || f.Matrix.f_start > Time.ms 10 then
+        Alcotest.fail "start outside window")
+    fl;
+  Alcotest.(check bool) "sorted by start" true !sorted;
+  Alcotest.(check bool) "total bytes" true (Matrix.total_bytes fl > 0);
+  match Matrix.pair_burst rng ~src:3 ~dst:3 ~flows:1 ~cdf:Cdf.websearch
+          ~window:Time.zero with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "self-pair accepted"
+
+let test_permutation_matrix () =
+  let rng = Rng.create ~seed:9 in
+  let fl =
+    Matrix.permutation rng ~nhosts:16 ~cdf:Cdf.datamining
+      ~window:(Time.ms 1)
+  in
+  Alcotest.(check bool) "at most one per source" true
+    (List.length fl <= 16);
+  let srcs = Hashtbl.create 16 in
+  List.iter
+    (fun f ->
+      if f.Matrix.f_src = f.Matrix.f_dst then
+        Alcotest.fail "fixed point in permutation";
+      if Hashtbl.mem srcs f.Matrix.f_src then
+        Alcotest.fail "duplicate source";
+      Hashtbl.replace srcs f.Matrix.f_src ())
+    fl
+
+let test_random_pairs () =
+  let rng = Rng.create ~seed:17 in
+  let fl =
+    Matrix.random_pairs rng ~nhosts:8 ~nflows:200 ~cdf:Cdf.websearch
+      ~window:(Time.us 500)
+  in
+  Alcotest.(check int) "count" 200 (List.length fl);
+  List.iter
+    (fun f ->
+      if f.Matrix.f_src = f.Matrix.f_dst then Alcotest.fail "self flow";
+      if f.Matrix.f_src < 0 || f.Matrix.f_src >= 8 then
+        Alcotest.fail "src out of range";
+      if f.Matrix.f_dst < 0 || f.Matrix.f_dst >= 8 then
+        Alcotest.fail "dst out of range")
+    fl
+
+(* --- qcheck ------------------------------------------------------- *)
+
+let named_arb =
+  QCheck.make
+    ~print:(fun c -> Cdf.name c)
+    QCheck.Gen.(
+      map
+        (function
+          | 0 -> Cdf.websearch
+          | 1 -> Cdf.datamining
+          | 2 -> Cdf.uniform ~lo:10 ~hi:100_000
+          | _ -> Cdf.fixed 777)
+        (int_bound 3))
+
+let quantile_monotone =
+  QCheck.Test.make ~name:"traffic: inverse CDF is monotone" ~count:500
+    QCheck.(triple named_arb (float_bound_inclusive 1.0)
+              (float_bound_inclusive 1.0))
+    (fun (c, u1, u2) ->
+      let lo = Float.min u1 u2 and hi = Float.max u1 u2 in
+      Cdf.quantile c lo <= Cdf.quantile c hi)
+
+let empirical_mean_converges =
+  QCheck.Test.make ~name:"traffic: sample mean approaches analytic mean"
+    ~count:20
+    QCheck.(small_nat)
+    (fun salt ->
+      (* Heavy-tailed named workloads need too many draws for a unit
+         test; bounded supports converge fast. *)
+      let c = Cdf.uniform ~lo:50 ~hi:5000 in
+      let rng = Rng.create ~seed:(1000 + salt) in
+      let n = 20_000 in
+      let sum = ref 0 in
+      for _ = 1 to n do
+        sum := !sum + Cdf.sample c rng
+      done;
+      let emp = float_of_int !sum /. float_of_int n in
+      let ana = Cdf.mean c in
+      Float.abs (emp -. ana) /. ana < 0.05)
+
+let suite =
+  [
+    Alcotest.test_case "of_points validation" `Quick
+      test_of_points_validation;
+    Alcotest.test_case "named workloads" `Quick test_named_cdfs;
+    Alcotest.test_case "quantile endpoints + clamping" `Quick
+      test_quantile_endpoints_and_clamp;
+    Alcotest.test_case "scale clamps support" `Quick test_scale_clamps;
+    Alcotest.test_case "pair burst matrix" `Quick test_pair_burst;
+    Alcotest.test_case "permutation matrix" `Quick test_permutation_matrix;
+    Alcotest.test_case "random pairs matrix" `Quick test_random_pairs;
+    QCheck_alcotest.to_alcotest quantile_monotone;
+    QCheck_alcotest.to_alcotest empirical_mean_converges;
+  ]
